@@ -1,0 +1,49 @@
+# Reproduction harness for "Rain or Shine?" (ICDCS 2017).
+# Everything is stdlib Go; no external dependencies.
+
+GO ?= go
+
+.PHONY: all build vet test race bench repro outputs examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/simulate/ ./internal/figures/ .
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every paper table and figure at full scale (seed 42).
+repro:
+	$(GO) run ./cmd/rainshine all
+
+# Record the canonical outputs referenced by EXPERIMENTS.md.
+outputs:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/spareprovisioning
+	$(GO) run ./examples/vendorselection
+	$(GO) run ./examples/climatecontrol
+	$(GO) run ./examples/failureprediction
+	$(GO) run ./examples/operations
+	$(GO) run ./examples/externaldata
+
+fuzz:
+	$(GO) test -fuzz FuzzReadFrameCSV -fuzztime 30s ./internal/export/
+	$(GO) test -fuzz FuzzQuantile -fuzztime 30s ./internal/stats/
+	$(GO) test -fuzz FuzzChiSquareCDF -fuzztime 30s ./internal/stats/
+
+clean:
+	rm -f test_output.txt bench_output.txt

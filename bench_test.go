@@ -1,0 +1,425 @@
+package rainshine
+
+// Benchmark harness: one benchmark per paper table and figure (the
+// regenerators of EXPERIMENTS.md), plus micro-benchmarks for the
+// substrates (simulation, CART fitting, μ extraction).
+//
+// The per-experiment benchmarks share a single reduced study (the
+// simulation is deterministic, so sharing does not couple iterations)
+// and measure the cost of regenerating the experiment from raw events.
+// Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"sync"
+	"testing"
+
+	"rainshine/internal/cart"
+	"rainshine/internal/failure"
+	"rainshine/internal/frame"
+	"rainshine/internal/metrics"
+	"rainshine/internal/predict"
+	"rainshine/internal/provision"
+	"rainshine/internal/repair"
+	"rainshine/internal/rng"
+	"rainshine/internal/simulate"
+	"rainshine/internal/tco"
+	"rainshine/internal/topology"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *Study
+)
+
+// benchData returns the shared reduced study (120+100 racks, one year).
+func benchData(b *testing.B) *Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		s, err := NewStudy(WithSeed(42), WithDays(365), WithRacks(120, 100))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchStudy = s
+		// Pre-build the rack-day frame so per-figure benches measure
+		// the figure computation, not the shared cache fill.
+		if _, err := s.Figures().RackDays(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return benchStudy
+}
+
+func benchErr(b *testing.B, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTableI(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := d.TableI(); len(rows) != 2 {
+			b.Fatal("bad TableI")
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := d.TableII(); len(rows) != 11 {
+			b.Fatal("bad TableII")
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := d.TableIII(); len(rows) == 0 {
+			b.Fatal("bad TableIII")
+		}
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := d.TableIV()
+		benchErr(b, err)
+		if len(rows) != 12 {
+			b.Fatal("bad TableIV")
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig1()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig2()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig3()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig4()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig5()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig6()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig7()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig8()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig9()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig10()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig11()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig12()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig13()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig14()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig15()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig16(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig16()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig17(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig17()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig18(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Fig18()
+		benchErr(b, err)
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSimulateYear measures generating one year of telemetry for a
+// 50-rack fleet (fleet build + climate + events + tickets).
+func BenchmarkSimulateYear(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := simulate.Run(simulate.Config{
+			Seed:     uint64(i + 1),
+			Days:     365,
+			Topology: topology.Config{RacksPerDC: [2]int{25, 25}},
+		})
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkCARTFit measures fitting a regression tree on 20k rows with
+// mixed feature types.
+func BenchmarkCARTFit(b *testing.B) {
+	src := rng.New(1)
+	const n = 20000
+	x1 := make([]float64, n)
+	cat := make([]int, n)
+	y := make([]float64, n)
+	for i := range y {
+		x1[i] = src.Float64() * 100
+		cat[i] = src.IntN(7)
+		y[i] = x1[i]*0.01 + float64(cat[i])
+	}
+	f := frame.New(n)
+	benchErr(b, f.AddContinuous("x1", x1))
+	benchErr(b, f.AddNominalInts("cat", cat, []string{"a", "b", "c", "d", "e", "f", "g"}))
+	benchErr(b, f.AddContinuous("y", y))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := cart.Fit(f, "y", []string{"x1", "cat"}, cart.Config{MaxDepth: 6, CP: 0.001})
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkMuDaily measures extracting per-rack daily μ distributions.
+func BenchmarkMuDaily(b *testing.B) {
+	s := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := metrics.MuDistributions(s.Figures().Res, []failure.Component{
+			failure.Disk, failure.DIMM, failure.ServerOther,
+		}, metrics.Daily)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkMuHourly measures the hourly-granularity variant.
+func BenchmarkMuHourly(b *testing.B) {
+	s := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := metrics.MuDistributions(s.Figures().Res, []failure.Component{
+			failure.Disk, failure.DIMM, failure.ServerOther,
+		}, metrics.Hourly)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkRackDayFrame measures materializing the λ analysis frame.
+func BenchmarkRackDayFrame(b *testing.B) {
+	s := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := metrics.RackDayFrame(s.Figures().Res)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkAblationFeatures measures the feature-subset ablation sweep.
+func BenchmarkAblationFeatures(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.AblationFeatures()
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkAblationClusterBudget measures the cluster-budget sweep.
+func BenchmarkAblationClusterBudget(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.AblationClusterBudget()
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkPredictTrain measures training and evaluating the failure
+// predictor on the shared study's rack-day table.
+func BenchmarkPredictTrain(b *testing.B) {
+	s := benchData(b)
+	f, err := s.Figures().RackDays()
+	benchErr(b, err)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := predict.Train(f, predict.Config{Balance: true})
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkGranularitySweep measures the provisioning-granularity sweep.
+func BenchmarkGranularitySweep(b *testing.B) {
+	d := benchData(b).Figures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.GranularitySweep()
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkPooling measures the spare-pooling scope sweep.
+func BenchmarkPooling(b *testing.B) {
+	s := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := provision.AnalyzePooling(s.Figures().Res, metrics.Daily)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkRepairPolicy measures the replace-vs-service comparison.
+func BenchmarkRepairPolicy(b *testing.B) {
+	s := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := repair.Compare(s.Figures().Res, tco.Default(), repair.Params{}, 1)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkCrossValidate measures 5-fold cp selection on a rack-sized
+// regression problem.
+func BenchmarkCrossValidate(b *testing.B) {
+	src := rng.New(2)
+	const n = 300
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range y {
+		x[i] = src.Float64() * 10
+		if x[i] > 5 {
+			y[i] = 1
+		}
+		y[i] += src.NormFloat64() * 0.3
+	}
+	f := frame.New(n)
+	benchErr(b, f.AddContinuous("x", x))
+	benchErr(b, f.AddContinuous("y", y))
+	cands := []float64{0.001, 0.01, 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := cart.CrossValidate(f, "y", []string{"x"},
+			cart.Config{Task: cart.Regression, MaxDepth: 5, MinSplit: 10, MinLeaf: 5}, cands, 5, 1)
+		benchErr(b, err)
+	}
+}

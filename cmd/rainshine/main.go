@@ -1,0 +1,197 @@
+// Command rainshine regenerates the paper's tables and figures and runs
+// the three decision analyses from the terminal.
+//
+// Usage:
+//
+//	rainshine [flags] <command> [args]
+//
+// Commands:
+//
+//	summary            fleet and ticket overview
+//	table <1|2|3|4>    print a paper table (generated vs published)
+//	fig <1..18>        print a paper figure as ASCII bars / CDFs
+//	q1 [W1..W7]        spare provisioning analysis (default W1 and W6)
+//	q2                 vendor/SKU comparison with TCO verdicts
+//	q3                 environmental set-point guidance
+//	predict            rack-day failure prediction (future-work extension)
+//	export <what>      dump traces to stdout: tickets (CSV), events (JSONL),
+//	                   rackdays (CSV analysis table)
+//	ablate             MF design-choice ablations (feature subsets, cluster budget, cp)
+//	climate-csv <file> run the Q3 analysis on an external rack-day CSV ("-" = stdin)
+//	pooling            shared-vs-dedicated spare pool comparison
+//	opex               replace-vs-service repair policy comparison
+//	tree               print the Q3 multi-factor CART model
+//	all                everything above, in paper order
+//
+// Flags:
+//
+//	-seed N     root RNG seed (default 42)
+//	-days N     observation window in days (default 930)
+//	-racks A,B  rack counts for DC1,DC2 (default 331,290)
+//	-small      shorthand for a fast reduced study (-days 365 -racks 120,100)
+//	-hourly     use hourly provisioning granularity for q1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"rainshine"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "rainshine: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rainshine", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 42, "root RNG seed")
+	days := fs.Int("days", 930, "observation window in days")
+	racks := fs.String("racks", "", "rack counts dc1,dc2 (default paper-scale 331,290)")
+	small := fs.Bool("small", false, "fast reduced study")
+	hourly := fs.Bool("hourly", false, "hourly granularity for q1")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing command (try: rainshine -small all)")
+	}
+
+	opts := []rainshine.Option{rainshine.WithSeed(*seed), rainshine.WithDays(*days)}
+	if *small {
+		opts = append(opts, rainshine.WithDays(365), rainshine.WithRacks(120, 100))
+	}
+	if *racks != "" {
+		parts := strings.Split(*racks, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("-racks wants dc1,dc2 counts, got %q", *racks)
+		}
+		a, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return fmt.Errorf("parsing -racks: %w", err)
+		}
+		b, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return fmt.Errorf("parsing -racks: %w", err)
+		}
+		opts = append(opts, rainshine.WithRacks(a, b))
+	}
+
+	// climate-csv analyzes external data: no simulation involved.
+	if rest[0] == "climate-csv" {
+		if len(rest) < 2 {
+			return fmt.Errorf("climate-csv wants a rack-day CSV path (or - for stdin)")
+		}
+		return analyzeClimateCSV(rest[1], os.Stdout)
+	}
+
+	fmt.Fprintf(os.Stderr, "simulating fleet (seed %d)...\n", *seed)
+	study, err := rainshine.NewStudy(opts...)
+	if err != nil {
+		return err
+	}
+	r := &renderer{study: study, out: os.Stdout}
+
+	switch rest[0] {
+	case "summary":
+		return r.summary()
+	case "table":
+		if len(rest) < 2 {
+			return fmt.Errorf("table wants a number 1-4")
+		}
+		return r.table(rest[1])
+	case "fig":
+		if len(rest) < 2 {
+			return fmt.Errorf("fig wants a number 1-18")
+		}
+		n, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return fmt.Errorf("parsing figure number: %w", err)
+		}
+		return r.figure(n)
+	case "q1":
+		wls := []rainshine.Workload{rainshine.W1, rainshine.W6}
+		if len(rest) > 1 {
+			wl, err := parseWorkload(rest[1])
+			if err != nil {
+				return err
+			}
+			wls = []rainshine.Workload{wl}
+		}
+		for _, wl := range wls {
+			if err := r.q1(wl, *hourly); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "q2":
+		return r.q2()
+	case "q3":
+		return r.q3()
+	case "predict":
+		return r.predict()
+	case "export":
+		if len(rest) < 2 {
+			return fmt.Errorf("export wants tickets|events|rackdays")
+		}
+		return r.export(rest[1])
+	case "ablate":
+		return r.ablate()
+	case "pooling":
+		return r.pooling(*hourly)
+	case "opex":
+		return r.opex()
+	case "tree":
+		return r.tree()
+	case "all":
+		return r.all(*hourly)
+	default:
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+}
+
+// analyzeClimateCSV runs the external-data Q3 path on a file or stdin.
+func analyzeClimateCSV(path string, out io.Writer) error {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("opening %s: %w", path, err)
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := rainshine.AnalyzeClimateCSV(in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "External rack-day analysis\n")
+	fmt.Fprintf(out, "  temperature knee: %.1f F\n", rep.TempThresholdF)
+	if !math.IsNaN(rep.RHThreshold) {
+		fmt.Fprintf(out, "  dry-air knee (when hot): %.1f %% RH\n", rep.RHThreshold)
+	}
+	for dc, hot := range rep.HotPenalty {
+		fmt.Fprintf(out, "  %s: disk failure rate x%.2f above the knee\n", dc, hot)
+	}
+	return nil
+}
+
+func parseWorkload(s string) (rainshine.Workload, error) {
+	s = strings.ToUpper(s)
+	for w := rainshine.W1; w <= rainshine.W7; w++ {
+		if w.String() == s {
+			return w, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown workload %q (want W1..W7)", s)
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"rainshine"
+)
+
+var cachedStudy *rainshine.Study
+
+// tinyStudy builds a very small fleet once for renderer tests.
+func tinyStudy(t *testing.T) *rainshine.Study {
+	t.Helper()
+	if cachedStudy != nil {
+		return cachedStudy
+	}
+	s, err := rainshine.NewStudy(
+		rainshine.WithSeed(42),
+		rainshine.WithDays(180),
+		rainshine.WithRacks(40, 35),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedStudy = s
+	return s
+}
+
+func render(t *testing.T, f func(r *renderer) error) string {
+	t.Helper()
+	var buf bytes.Buffer
+	r := &renderer{study: tinyStudy(t), out: &buf}
+	if err := f(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestSummaryRenders(t *testing.T) {
+	out := render(t, (*renderer).summary)
+	for _, want := range []string{"Fleet:", "Software", "Hardware"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	for _, tbl := range []string{"1", "2", "3", "4"} {
+		out := render(t, func(r *renderer) error { return r.table(tbl) })
+		if len(out) < 50 {
+			t.Errorf("table %s output too short:\n%s", tbl, out)
+		}
+	}
+	var buf bytes.Buffer
+	r := &renderer{study: tinyStudy(t), out: &buf}
+	if err := r.table("9"); err == nil {
+		t.Error("unknown table should error")
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	for n := 1; n <= 18; n++ {
+		out := render(t, func(r *renderer) error { return r.figure(n) })
+		if len(out) < 30 {
+			t.Errorf("figure %d output too short:\n%s", n, out)
+		}
+	}
+	var buf bytes.Buffer
+	r := &renderer{study: tinyStudy(t), out: &buf}
+	if err := r.figure(99); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestAnalysesRender(t *testing.T) {
+	out := render(t, func(r *renderer) error { return r.q1(rainshine.W6, false) })
+	if !strings.Contains(out, "Q1") || !strings.Contains(out, "MF clusters") {
+		t.Errorf("q1 output:\n%s", out)
+	}
+	out = render(t, (*renderer).q2)
+	if !strings.Contains(out, "S2:S4") {
+		t.Errorf("q2 output:\n%s", out)
+	}
+	out = render(t, (*renderer).q3)
+	if !strings.Contains(out, "thresholds") {
+		t.Errorf("q3 output:\n%s", out)
+	}
+	out = render(t, (*renderer).predict)
+	if !strings.Contains(out, "precision") {
+		t.Errorf("predict output:\n%s", out)
+	}
+	out = render(t, (*renderer).ablate)
+	if !strings.Contains(out, "Gap closed") {
+		t.Errorf("ablate output:\n%s", out)
+	}
+	out = render(t, (*renderer).tree)
+	if !strings.Contains(out, "CART") {
+		t.Errorf("tree output:\n%s", out)
+	}
+}
+
+func TestExportRenders(t *testing.T) {
+	out := render(t, func(r *renderer) error { return r.export("tickets") })
+	if !strings.HasPrefix(out, "id,date,day,hour") {
+		t.Errorf("tickets export header:\n%.100s", out)
+	}
+	out = render(t, func(r *renderer) error { return r.export("events") })
+	if !strings.Contains(out, `"component"`) {
+		t.Errorf("events export:\n%.100s", out)
+	}
+	out = render(t, func(r *renderer) error { return r.export("rackdays") })
+	if !strings.Contains(out, "temp,rh") {
+		t.Errorf("rackdays export header:\n%.100s", out)
+	}
+	var buf bytes.Buffer
+	r := &renderer{study: tinyStudy(t), out: &buf}
+	if err := r.export("nope"); err == nil {
+		t.Error("unknown export target should error")
+	}
+}
+
+func TestParseWorkload(t *testing.T) {
+	w, err := parseWorkload("w3")
+	if err != nil || w != rainshine.W3 {
+		t.Errorf("parseWorkload = %v, %v", w, err)
+	}
+	if _, err := parseWorkload("W9"); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestRunArgErrors(t *testing.T) {
+	// Post-study error cases carry a tiny-fleet prefix so the test does
+	// not pay for a full-scale simulation just to hit an arg error.
+	tiny := []string{"-racks", "8,8", "-days", "45"}
+	withTiny := func(args ...string) []string { return append(append([]string{}, tiny...), args...) }
+	cases := [][]string{
+		{},                         // missing command
+		{"-racks", "1", "summary"}, // malformed racks (pre-study)
+		{"-racks", "a,b", "summary"},
+		{"-racks", "1,b", "summary"},
+		withTiny("bogus"),      // unknown command
+		withTiny("table"),      // missing table number
+		withTiny("fig"),        // missing figure number
+		withTiny("fig", "abc"), // bad figure number
+		withTiny("export"),     // missing export target
+		withTiny("q1", "nope"), // bad workload
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should error", args)
+		}
+	}
+}
+
+func TestPoolingAndOpexRender(t *testing.T) {
+	out := render(t, func(r *renderer) error { return r.pooling(false) })
+	if !strings.Contains(out, "per-rack") || !strings.Contains(out, "global") {
+		t.Errorf("pooling output:\n%s", out)
+	}
+	out = render(t, (*renderer).opex)
+	if !strings.Contains(out, "disk") || !strings.Contains(out, "Cheaper policy") {
+		t.Errorf("opex output:\n%s", out)
+	}
+}
+
+func TestClimateCSVCommand(t *testing.T) {
+	var buf bytes.Buffer
+	r := &renderer{study: tinyStudy(t), out: &buf}
+	if err := r.export("rackdays"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/rackdays.csv"
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := analyzeClimateCSV(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "temperature knee") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	if err := analyzeClimateCSV(dir+"/missing.csv", &out); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestAllRenders(t *testing.T) {
+	var buf bytes.Buffer
+	r := &renderer{study: tinyStudy(t), out: &buf}
+	if err := r.all(false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== Table 4 ==", "== Figure 18 ==", "Q1:", "Q2:", "Q3:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("all output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package rainshine_test
+
+import (
+	"fmt"
+	"log"
+
+	"rainshine"
+)
+
+// Example shows the minimal end-to-end flow: build a study and ask the
+// three decision questions.
+func Example() {
+	study, err := rainshine.NewStudy(
+		rainshine.WithSeed(42),
+		rainshine.WithDays(365),
+		rainshine.WithRacks(120, 100),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(study.NumRacks(), "racks simulated")
+	// Output: 220 racks simulated
+}
+
+// ExampleStudy_SpareProvisioning runs Q1 for the storage workload and
+// prints how far apart the one-size-fits-all (SF) and multi-factor (MF)
+// spare fractions land.
+func ExampleStudy_SpareProvisioning() {
+	study, err := rainshine.NewStudy(
+		rainshine.WithSeed(42),
+		rainshine.WithDays(365),
+		rainshine.WithRacks(120, 100),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := study.SpareProvisioning(rainshine.W6, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := len(rep.SLAs) - 1
+	fmt.Printf("MF needs less than SF at 100%% SLA: %v\n",
+		rep.OverprovPct["MF"][last] < rep.OverprovPct["SF"][last])
+	// Output: MF needs less than SF at 100% SLA: true
+}
+
+// ExampleStudy_VendorComparison shows Q2's headline: the naive
+// single-factor view exaggerates the SKU reliability gap.
+func ExampleStudy_VendorComparison() {
+	study, err := rainshine.NewStudy(
+		rainshine.WithSeed(42),
+		rainshine.WithDays(365),
+		rainshine.WithRacks(120, 100),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := study.VendorComparison(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single-factor view exaggerates the gap: %v\n", rep.RatioSF > rep.RatioMF)
+	// Output: single-factor view exaggerates the gap: true
+}

@@ -1,0 +1,72 @@
+// External data: run the multi-factor analyses on telemetry that did
+// NOT come from this repository's simulator.
+//
+// An operator with real failure data exports one row per rack-day with
+// the factor columns (the shape `rainshine export rackdays` documents)
+// and feeds the CSV to rainshine.AnalyzeClimateCSV. To demonstrate the
+// path end-to-end without shipping production data, this example first
+// produces such a CSV (from a simulated study), then forgets where it
+// came from and analyzes it purely as an external file.
+//
+// Run with:
+//
+//	go run ./examples/externaldata
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math"
+
+	"rainshine"
+)
+
+func main() {
+	// Step 1 (stand-in for "your telemetry pipeline"): materialize a
+	// rack-day CSV. Swap this block for reading your own file.
+	csvData, err := makeRackDayCSV()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Ingesting %d bytes of rack-day CSV (no simulator state attached)...\n", csvData.Len())
+
+	// Step 2: the actual analysis — works on any CSV in this shape.
+	rep, err := rainshine.AnalyzeClimateCSV(csvData)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if math.IsNaN(rep.TempThresholdF) {
+		fmt.Println("No temperature threshold found in this dataset.")
+		return
+	}
+	fmt.Printf("MF-discovered temperature knee: %.1f F\n", rep.TempThresholdF)
+	if !math.IsNaN(rep.RHThreshold) {
+		fmt.Printf("MF-discovered dry-air knee (when hot): %.1f %% RH\n", rep.RHThreshold)
+	}
+	for dc, hot := range rep.HotPenalty {
+		fmt.Printf("%s: disks fail %.0f%% more above the knee\n", dc, 100*(hot-1))
+	}
+	fmt.Println()
+	fmt.Println("The same entry point accepts your production rack-day table: columns")
+	fmt.Println("temp, rh, dc, region, sku, workload, power_kw, age_months, month,")
+	fmt.Println("disk_failures — see `rainshine export rackdays` for the exact shape.")
+}
+
+// makeRackDayCSV builds the demonstration CSV.
+func makeRackDayCSV() (*bytes.Buffer, error) {
+	study, err := rainshine.NewStudy(
+		rainshine.WithSeed(42),
+		rainshine.WithDays(540),
+		rainshine.WithRacks(160, 140),
+		rainshine.WithoutSoftwareTickets(),
+	)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := study.ExportRackDaysCSV(&buf); err != nil {
+		return nil, err
+	}
+	return &buf, nil
+}

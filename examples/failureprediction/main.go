@@ -1,0 +1,47 @@
+// Failure prediction: the paper's future-work extension (Section VII).
+//
+// Using the same multi-factor features that explain failures
+// retrospectively (Q1-Q3), train a classifier on the first 70% of the
+// observation window and predict, for each held-out rack-day, whether
+// the rack will generate a hardware failure. Section V warns that the
+// class imbalance (most rack-days see no failure) requires balancing
+// pre-processing — this example shows the difference it makes.
+//
+// Run with:
+//
+//	go run ./examples/failureprediction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rainshine"
+)
+
+func main() {
+	study, err := rainshine.NewStudy(
+		rainshine.WithSeed(42),
+		rainshine.WithDays(540),
+		rainshine.WithRacks(160, 140),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := study.FailurePrediction()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Rack-day failure prediction on held-out time:")
+	fmt.Printf("  split: %d train / %d test rack-days, %.1f%% of test days have a failure\n",
+		rep.TrainRows, rep.TestRows, 100*rep.PositiveRate)
+	fmt.Printf("  precision %.2f   recall %.2f   F1 %.2f   AUC %.2f\n",
+		rep.Precision, rep.Recall, rep.F1, rep.AUC)
+	fmt.Printf("  what the model looks at, most-informative first: %v\n", rep.TopFactors)
+	fmt.Println()
+	fmt.Println("An operator can use these alarms to schedule pro-active maintenance or")
+	fmt.Println("pre-stage spares at the racks most likely to fail — closing the loop the")
+	fmt.Println("paper opens in its concluding remarks.")
+}

@@ -1,0 +1,59 @@
+// Spare provisioning (the paper's Q1): how many spare servers must each
+// rack of a workload keep to meet its availability SLA?
+//
+// The example contrasts the three approaches of Section VI — the oracle
+// lower bound (LB), the pooled single-factor scheme (SF), and the
+// CART-clustered multi-factor scheme (MF) — at daily and hourly
+// granularity, and prints the MF clusters with the factor conditions
+// that define them.
+//
+// Run with:
+//
+//	go run ./examples/spareprovisioning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rainshine"
+)
+
+func main() {
+	study, err := rainshine.NewStudy(
+		rainshine.WithSeed(42),
+		rainshine.WithDays(540),
+		rainshine.WithRacks(160, 140),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, hourly := range []bool{false, true} {
+		rep, err := study.SpareProvisioning(rainshine.W6, hourly)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Workload %s, %s spare pools:\n", rep.Workload, rep.Granularity)
+		fmt.Printf("  %-6s %8s %8s %8s %14s\n", "SLA", "LB%", "MF%", "SF%", "TCO saved")
+		for i, sla := range rep.SLAs {
+			fmt.Printf("  %-6.0f %8.1f %8.1f %8.1f %13.2f%%\n",
+				100*sla,
+				rep.OverprovPct["LB"][i],
+				rep.OverprovPct["MF"][i],
+				rep.OverprovPct["SF"][i],
+				rep.TCOSavingsPct[i])
+		}
+		if !hourly {
+			fmt.Printf("  factors driving the clusters: %v\n", rep.FactorRanking)
+			fmt.Printf("  MF found %d rack groups with distinct spare needs:\n", len(rep.Clusters))
+			for i, c := range rep.Clusters {
+				fmt.Printf("    group %2d: %3d racks need %5.1f%% spares  (%s)\n",
+					i+1, c.Racks, c.ReqPct, c.Conditions)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("Note how the one-size-fits-all SF fraction is set by the worst rack group,")
+	fmt.Println("while MF provisions each group for its own tail — that gap is the savings.")
+}

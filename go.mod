@@ -1,0 +1,3 @@
+module rainshine
+
+go 1.24

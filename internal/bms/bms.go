@@ -1,0 +1,131 @@
+// Package bms models the building management system of Section IV: the
+// layer that collects sensor telemetry and "triggers specific actions
+// like alarms, when any of the sensor values exceed the normal threshold
+// range". Alarms are how operators notice environmental excursions —
+// the same excursions whose reliability cost Q3 quantifies.
+package bms
+
+import (
+	"fmt"
+
+	"rainshine/internal/climate"
+	"rainshine/internal/topology"
+)
+
+// SensorKind identifies what a sensor measures.
+type SensorKind int
+
+// Sensor kinds monitored at rack level (pressure and air-flow are
+// monitored at AHU level in the paper; rack-level telemetry covers
+// temperature and relative humidity).
+const (
+	Temperature SensorKind = iota
+	Humidity
+)
+
+// String names the sensor kind.
+func (k SensorKind) String() string {
+	if k == Temperature {
+		return "temperature"
+	}
+	return "humidity"
+}
+
+// Thresholds define the normal operating envelope. Defaults follow the
+// ASHRAE A1 allowable class, which is what large operators alarm on.
+type Thresholds struct {
+	TempLowF  float64
+	TempHighF float64
+	RHLow     float64
+	RHHigh    float64
+}
+
+// DefaultThresholds returns the ASHRAE-style envelope.
+func DefaultThresholds() Thresholds {
+	return Thresholds{TempLowF: 59, TempHighF: 80.6, RHLow: 20, RHHigh: 80}
+}
+
+// Validate checks that the envelope is non-empty.
+func (t Thresholds) Validate() error {
+	if t.TempLowF >= t.TempHighF {
+		return fmt.Errorf("bms: empty temperature envelope [%v, %v]", t.TempLowF, t.TempHighF)
+	}
+	if t.RHLow >= t.RHHigh {
+		return fmt.Errorf("bms: empty humidity envelope [%v, %v]", t.RHLow, t.RHHigh)
+	}
+	return nil
+}
+
+// Alarm is one threshold violation on one rack-day.
+type Alarm struct {
+	Rack  int
+	Day   int
+	Kind  SensorKind
+	Value float64
+	// High is true for upper-threshold violations, false for lower.
+	High bool
+}
+
+// Scan sweeps the climate series and emits an alarm for every rack-day
+// whose conditions leave the envelope.
+func Scan(clim *climate.Model, fleet *topology.Fleet, th Thresholds) ([]Alarm, error) {
+	if err := th.Validate(); err != nil {
+		return nil, err
+	}
+	var alarms []Alarm
+	for ri := range fleet.Racks {
+		for d := 0; d < clim.Days(); d++ {
+			c, err := clim.At(ri, d)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case c.TempF > th.TempHighF:
+				alarms = append(alarms, Alarm{Rack: ri, Day: d, Kind: Temperature, Value: c.TempF, High: true})
+			case c.TempF < th.TempLowF:
+				alarms = append(alarms, Alarm{Rack: ri, Day: d, Kind: Temperature, Value: c.TempF})
+			}
+			switch {
+			case c.RH > th.RHHigh:
+				alarms = append(alarms, Alarm{Rack: ri, Day: d, Kind: Humidity, Value: c.RH, High: true})
+			case c.RH < th.RHLow:
+				alarms = append(alarms, Alarm{Rack: ri, Day: d, Kind: Humidity, Value: c.RH})
+			}
+		}
+	}
+	return alarms, nil
+}
+
+// Summary aggregates alarms per DC and kind.
+type Summary struct {
+	DC string
+	// Counts[kind][high] tallies alarms; index high as 0=low, 1=high.
+	TempHigh, TempLow, RHHigh, RHLow int
+	// RackDays is the DC's total observed rack-days, for rate context.
+	RackDays int
+}
+
+// Summarize tabulates per-DC alarm counts.
+func Summarize(alarms []Alarm, fleet *topology.Fleet, days int) []Summary {
+	out := make([]Summary, len(fleet.DCs))
+	for i, dc := range fleet.DCs {
+		out[i].DC = dc.Name
+	}
+	for i := range fleet.Racks {
+		out[fleet.Racks[i].DC].RackDays += days
+	}
+	for _, a := range alarms {
+		dc := fleet.Racks[a.Rack].DC
+		switch {
+		case a.Kind == Temperature && a.High:
+			out[dc].TempHigh++
+		case a.Kind == Temperature:
+			out[dc].TempLow++
+		case a.Kind == Humidity && a.High:
+			out[dc].RHHigh++
+		default:
+			out[dc].RHLow++
+		}
+	}
+	return out
+}

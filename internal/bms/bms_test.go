@@ -1,0 +1,105 @@
+package bms
+
+import (
+	"testing"
+
+	"rainshine/internal/climate"
+	"rainshine/internal/rng"
+	"rainshine/internal/topology"
+)
+
+func testSetup(t *testing.T) (*climate.Model, *topology.Fleet, int) {
+	t.Helper()
+	const days = 365
+	src := rng.New(rng.DefaultSeed)
+	fleet, err := topology.Build(src.Split("topology"), topology.Config{ObservationDays: days, RacksPerDC: [2]int{60, 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clim, err := climate.New(src.Split("climate"), fleet, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clim, fleet, days
+}
+
+func TestSensorKindString(t *testing.T) {
+	if Temperature.String() != "temperature" || Humidity.String() != "humidity" {
+		t.Error("SensorKind.String broken")
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	if err := DefaultThresholds().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Thresholds{TempLowF: 80, TempHighF: 60, RHLow: 20, RHHigh: 80}
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted temp envelope should error")
+	}
+	bad = Thresholds{TempLowF: 60, TempHighF: 80, RHLow: 90, RHHigh: 20}
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted RH envelope should error")
+	}
+	clim, fleet, _ := testSetup(t)
+	if _, err := Scan(clim, fleet, bad); err == nil {
+		t.Error("Scan must reject invalid thresholds")
+	}
+}
+
+func TestScanFindsExcursions(t *testing.T) {
+	clim, fleet, days := testSetup(t)
+	alarms, err := Scan(clim, fleet, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) == 0 {
+		t.Fatal("adiabatic DC1 must trip alarms over a full year")
+	}
+	th := DefaultThresholds()
+	for _, a := range alarms {
+		if a.Rack < 0 || a.Rack >= len(fleet.Racks) {
+			t.Fatalf("alarm rack %d out of range", a.Rack)
+		}
+		if a.Day < 0 || a.Day >= days {
+			t.Fatalf("alarm day %d out of range", a.Day)
+		}
+		switch {
+		case a.Kind == Temperature && a.High && a.Value <= th.TempHighF:
+			t.Fatalf("high temp alarm with value %v", a.Value)
+		case a.Kind == Temperature && !a.High && a.Value >= th.TempLowF:
+			t.Fatalf("low temp alarm with value %v", a.Value)
+		case a.Kind == Humidity && a.High && a.Value <= th.RHHigh:
+			t.Fatalf("high RH alarm with value %v", a.Value)
+		case a.Kind == Humidity && !a.High && a.Value >= th.RHLow:
+			t.Fatalf("low RH alarm with value %v", a.Value)
+		}
+	}
+}
+
+func TestDC1TripsMoreThanDC2(t *testing.T) {
+	clim, fleet, days := testSetup(t)
+	alarms, err := Scan(clim, fleet, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := Summarize(alarms, fleet, days)
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	dc1 := sums[0].TempHigh + sums[0].TempLow + sums[0].RHHigh + sums[0].RHLow
+	dc2 := sums[1].TempHigh + sums[1].TempLow + sums[1].RHHigh + sums[1].RHLow
+	// The chilled-water plant holds its envelope; the adiabatic plant
+	// tracks the weather. This is Table I's design trade-off showing up
+	// in the alarm stream.
+	if dc1 < 10*dc2+10 {
+		t.Errorf("DC1 alarms (%d) should dwarf DC2's (%d)", dc1, dc2)
+	}
+	if sums[0].RackDays == 0 || sums[1].RackDays == 0 {
+		t.Error("rack-day accounting missing")
+	}
+	// DC1's signature excursion: dry air (the RH<20%% tail of Fig 5).
+	if sums[0].RHLow == 0 {
+		t.Error("DC1 should trip low-humidity alarms")
+	}
+}

@@ -1,0 +1,60 @@
+// Package calendar maps simulation day offsets to calendar structure
+// (day-of-week, month, year) for the temporal-factor analyses
+// (Figs 3 and 4). The observation window starts on 1 Jan 2012, matching
+// the paper's 2012-2013(+) span.
+package calendar
+
+import (
+	"fmt"
+	"time"
+)
+
+// Epoch is simulation day 0.
+var Epoch = time.Date(2012, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// Date returns the calendar date of a simulation day.
+func Date(day int) time.Time { return Epoch.AddDate(0, 0, day) }
+
+// Weekday returns the day of week (0 = Sunday ... 6 = Saturday).
+func Weekday(day int) int { return int(Date(day).Weekday()) }
+
+// IsWeekend reports whether the day falls on Saturday or Sunday.
+func IsWeekend(day int) bool {
+	w := Weekday(day)
+	return w == 0 || w == 6
+}
+
+// Month returns the month index (0 = January ... 11 = December).
+func Month(day int) int { return int(Date(day).Month()) - 1 }
+
+// YearIndex returns the number of whole years since the epoch year
+// (0 for 2012, 1 for 2013, ...).
+func YearIndex(day int) int { return Date(day).Year() - Epoch.Year() }
+
+// DayOfYear returns the 0-based day within the calendar year.
+func DayOfYear(day int) int { return Date(day).YearDay() - 1 }
+
+// WeekOfYear returns the 0-based week within the calendar year (0-52),
+// the paper's Table III "Week" feature.
+func WeekOfYear(day int) int {
+	w := DayOfYear(day) / 7
+	if w > 52 {
+		w = 52
+	}
+	return w
+}
+
+// WeekNames lists the 53 week labels ("W01".."W53").
+func WeekNames() []string {
+	out := make([]string, 53)
+	for i := range out {
+		out[i] = fmt.Sprintf("W%02d", i+1)
+	}
+	return out
+}
+
+// WeekdayNames lists day labels Sunday-first, matching Fig 3's axis.
+var WeekdayNames = []string{"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"}
+
+// MonthNames lists month labels, matching Fig 4's axis.
+var MonthNames = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}

@@ -1,0 +1,761 @@
+// Package cart implements Classification and Regression Trees (Breiman
+// et al., 1984) from scratch: the learner behind the paper's multi-factor
+// (MF) analysis, equivalent in role to the R rpart package the authors
+// used.
+//
+// Capabilities:
+//   - regression trees (variance / SSE splitting) and classification
+//     trees (Gini impurity);
+//   - continuous, ordinal, and nominal features; nominal splits use the
+//     optimal category-ordering theorem (sort categories by mean response
+//     and scan, which is exact for regression and two-class problems);
+//   - stopping rules (max depth, minimum node/leaf sizes, minimum
+//     relative improvement, mirroring rpart's cp);
+//   - weakest-link cost-complexity pruning;
+//   - relative variable importance (rpart-style, scaled to 100);
+//   - leaf extraction and row→leaf assignment, which the paper uses to
+//     cluster racks with similar failure behaviour (Q1).
+package cart
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rainshine/internal/frame"
+)
+
+// Task selects the tree type.
+type Task int
+
+const (
+	// Regression grows a tree minimizing sum of squared errors.
+	Regression Task = iota
+	// Classification grows a tree minimizing Gini impurity. The target
+	// column must be categorical.
+	Classification
+)
+
+// Config holds the stopping and growth rules.
+type Config struct {
+	Task Task
+	// MaxDepth limits tree depth; root is depth 0. Zero means 10.
+	MaxDepth int
+	// MinSplit is the minimum number of rows a node needs before a
+	// split is attempted. Zero means 20 (rpart default).
+	MinSplit int
+	// MinLeaf is the minimum number of rows in each child. Zero means
+	// MinSplit/3, floor 1 (rpart default).
+	MinLeaf int
+	// CP is the complexity parameter: a split must reduce the tree's
+	// total impurity by at least CP * root impurity. Zero means 0.01
+	// (rpart default). Negative means no improvement threshold.
+	CP float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 10
+	}
+	if c.MinSplit == 0 {
+		c.MinSplit = 20
+	}
+	if c.MinLeaf == 0 {
+		c.MinLeaf = c.MinSplit / 3
+		if c.MinLeaf < 1 {
+			c.MinLeaf = 1
+		}
+	}
+	if c.CP == 0 {
+		c.CP = 0.01
+	}
+	return c
+}
+
+// Feature describes one predictor used by a tree.
+type Feature struct {
+	Name   string
+	Kind   frame.Kind
+	Levels []string // for categorical features
+}
+
+// Node is one tree node. Leaves have Left == Right == nil.
+type Node struct {
+	// Split definition (internal nodes only).
+	Feature   int     // index into Tree.Features
+	Threshold float64 // continuous/ordinal: left if x <= Threshold
+	LeftSet   []uint64
+	// DefaultLeft routes values unseen at training time (e.g. a nominal
+	// level absent from this node) toward the larger child.
+	DefaultLeft bool
+
+	Left, Right *Node
+
+	// Statistics (all nodes).
+	N           int
+	Value       float64   // mean response (regression) or majority class index
+	Impurity    float64   // SSE (regression) or weighted Gini (classification)
+	ClassCounts []float64 // classification only
+
+	// LeafID numbers leaves left-to-right; -1 for internal nodes.
+	LeafID int
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Left == nil }
+
+// inLeftSet reports whether category c routes left.
+func (n *Node) inLeftSet(c int) bool {
+	w := c / 64
+	if w < 0 || w >= len(n.LeftSet) {
+		return false
+	}
+	return n.LeftSet[w]&(1<<(uint(c)%64)) != 0
+}
+
+// Tree is a fitted CART model.
+type Tree struct {
+	Root     *Node
+	Features []Feature
+	Target   string
+	Task     Task
+	// ClassLevels holds target levels for classification trees.
+	ClassLevels []string
+	// importanceRaw accumulates impurity decrease per feature.
+	importanceRaw []float64
+	leaves        []*Node
+}
+
+// Fit grows a tree predicting target from the named feature columns of f.
+func Fit(f *frame.Frame, target string, features []string, cfg Config) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	if f.NumRows() == 0 {
+		return nil, errors.New("cart: empty frame")
+	}
+	if len(features) == 0 {
+		return nil, errors.New("cart: no features")
+	}
+	tc, err := f.Col(target)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{Target: target, Task: cfg.Task}
+	// Materialize the target.
+	var y []float64
+	switch cfg.Task {
+	case Regression:
+		y = tc.Data
+		for i, v := range y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("cart: non-finite target at row %d", i)
+			}
+		}
+	case Classification:
+		if tc.Kind == frame.Continuous {
+			return nil, fmt.Errorf("cart: classification target %q must be categorical", target)
+		}
+		y = tc.Data
+		t.ClassLevels = tc.Levels
+	default:
+		return nil, fmt.Errorf("cart: unknown task %d", cfg.Task)
+	}
+	// Materialize features.
+	cols := make([][]float64, len(features))
+	for i, name := range features {
+		c, err := f.Col(name)
+		if err != nil {
+			return nil, err
+		}
+		if name == target {
+			return nil, fmt.Errorf("cart: target %q used as feature", name)
+		}
+		for r, v := range c.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("cart: non-finite value in feature %q row %d", name, r)
+			}
+		}
+		cols[i] = c.Data
+		t.Features = append(t.Features, Feature{Name: name, Kind: c.Kind, Levels: c.Levels})
+	}
+	t.importanceRaw = make([]float64, len(features))
+
+	idx := make([]int, f.NumRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	b := &builder{cfg: cfg, tree: t, y: y, cols: cols}
+	if cfg.Task == Classification {
+		b.nClasses = len(t.ClassLevels)
+	}
+	root := b.node(idx)
+	b.rootImpurity = root.Impurity
+	b.grow(root, idx, 0)
+	t.Root = root
+	t.numberLeaves()
+	return t, nil
+}
+
+type builder struct {
+	cfg          Config
+	tree         *Tree
+	y            []float64
+	cols         [][]float64
+	nClasses     int
+	rootImpurity float64
+}
+
+// node computes leaf statistics for the rows in idx.
+func (b *builder) node(idx []int) *Node {
+	n := &Node{N: len(idx), Feature: -1, LeafID: -1}
+	if b.cfg.Task == Regression {
+		sum, sq := 0.0, 0.0
+		for _, r := range idx {
+			v := b.y[r]
+			sum += v
+			sq += v * v
+		}
+		mean := sum / float64(len(idx))
+		n.Value = mean
+		n.Impurity = sq - sum*mean // SSE = sum(y^2) - n*mean^2
+		if n.Impurity < 0 {
+			n.Impurity = 0 // guard against rounding
+		}
+		return n
+	}
+	counts := make([]float64, b.nClasses)
+	for _, r := range idx {
+		counts[int(b.y[r])]++
+	}
+	n.ClassCounts = counts
+	best, bestC := -1.0, 0
+	ss := 0.0
+	total := float64(len(idx))
+	for c, cnt := range counts {
+		if cnt > best {
+			best, bestC = cnt, c
+		}
+		p := cnt / total
+		ss += p * p
+	}
+	n.Value = float64(bestC)
+	n.Impurity = total * (1 - ss) // N-weighted Gini
+	return n
+}
+
+// grow recursively splits node over rows idx.
+func (b *builder) grow(n *Node, idx []int, depth int) {
+	if depth >= b.cfg.MaxDepth || len(idx) < b.cfg.MinSplit || n.Impurity <= 1e-12 {
+		return
+	}
+	sp := b.bestSplit(idx)
+	if sp.feature < 0 {
+		return
+	}
+	minGain := 0.0
+	if b.cfg.CP > 0 {
+		minGain = b.cfg.CP * b.rootImpurity
+	}
+	if sp.gain < minGain {
+		return
+	}
+	n.Feature = sp.feature
+	n.Threshold = sp.threshold
+	n.LeftSet = sp.leftSet
+	b.tree.importanceRaw[sp.feature] += sp.gain
+
+	left, right := b.partition(n, idx)
+	n.DefaultLeft = len(left) >= len(right)
+	n.Left = b.node(left)
+	n.Right = b.node(right)
+	b.grow(n.Left, left, depth+1)
+	b.grow(n.Right, right, depth+1)
+}
+
+// partition routes idx rows through node n's split.
+func (b *builder) partition(n *Node, idx []int) (left, right []int) {
+	feat := b.tree.Features[n.Feature]
+	col := b.cols[n.Feature]
+	for _, r := range idx {
+		if routeLeft(feat.Kind, n, col[r]) {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	return left, right
+}
+
+func routeLeft(kind frame.Kind, n *Node, v float64) bool {
+	if kind == frame.Nominal {
+		return n.inLeftSet(int(v))
+	}
+	return v <= n.Threshold
+}
+
+type split struct {
+	feature   int
+	threshold float64
+	leftSet   []uint64
+	gain      float64
+}
+
+// bestSplit searches all features for the impurity-minimizing split.
+func (b *builder) bestSplit(idx []int) split {
+	best := split{feature: -1}
+	for fi := range b.cols {
+		var s split
+		var ok bool
+		if b.tree.Features[fi].Kind == frame.Nominal {
+			s, ok = b.bestNominalSplit(fi, idx)
+		} else {
+			s, ok = b.bestNumericSplit(fi, idx)
+		}
+		if ok && s.gain > best.gain {
+			best = s
+		}
+	}
+	return best
+}
+
+// bestNumericSplit scans sorted values of a continuous/ordinal feature.
+func (b *builder) bestNumericSplit(fi int, idx []int) (split, bool) {
+	col := b.cols[fi]
+	sorted := append([]int(nil), idx...)
+	sort.Slice(sorted, func(a, c int) bool { return col[sorted[a]] < col[sorted[c]] })
+
+	parentImp := 0.0
+	var scan func() (bestPos int, bestGain float64)
+	if b.cfg.Task == Regression {
+		n := len(sorted)
+		totalSum, totalSq := 0.0, 0.0
+		for _, r := range sorted {
+			totalSum += b.y[r]
+			totalSq += b.y[r] * b.y[r]
+		}
+		parentImp = totalSq - totalSum*totalSum/float64(n)
+		scan = func() (int, float64) {
+			bestPos, bestGain := -1, 0.0
+			leftSum := 0.0
+			leftSq := 0.0
+			for i := 0; i < n-1; i++ {
+				r := sorted[i]
+				leftSum += b.y[r]
+				leftSq += b.y[r] * b.y[r]
+				if col[sorted[i]] == col[sorted[i+1]] {
+					continue // cannot split between equal values
+				}
+				nl, nr := i+1, n-i-1
+				if nl < b.cfg.MinLeaf || nr < b.cfg.MinLeaf {
+					continue
+				}
+				rightSum := totalSum - leftSum
+				rightSq := totalSq - leftSq
+				childImp := (leftSq - leftSum*leftSum/float64(nl)) +
+					(rightSq - rightSum*rightSum/float64(nr))
+				if g := parentImp - childImp; g > bestGain {
+					bestGain, bestPos = g, i
+				}
+			}
+			return bestPos, bestGain
+		}
+	} else {
+		n := len(sorted)
+		total := make([]float64, b.nClasses)
+		for _, r := range sorted {
+			total[int(b.y[r])]++
+		}
+		parentImp = giniSSE(total, float64(n))
+		left := make([]float64, b.nClasses)
+		scan = func() (int, float64) {
+			bestPos, bestGain := -1, 0.0
+			for i := 0; i < n-1; i++ {
+				left[int(b.y[sorted[i]])]++
+				if col[sorted[i]] == col[sorted[i+1]] {
+					continue
+				}
+				nl, nr := i+1, n-i-1
+				if nl < b.cfg.MinLeaf || nr < b.cfg.MinLeaf {
+					continue
+				}
+				childImp := giniFromLeft(left, total, float64(nl), float64(nr))
+				if g := parentImp - childImp; g > bestGain {
+					bestGain, bestPos = g, i
+				}
+			}
+			return bestPos, bestGain
+		}
+	}
+	pos, gain := scan()
+	if pos < 0 || gain <= 0 {
+		return split{}, false
+	}
+	thr := (col[sorted[pos]] + col[sorted[pos+1]]) / 2
+	return split{feature: fi, threshold: thr, gain: gain}, true
+}
+
+// giniSSE returns n * Gini for class counts.
+func giniSSE(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	ss := 0.0
+	for _, c := range counts {
+		p := c / n
+		ss += p * p
+	}
+	return n * (1 - ss)
+}
+
+func giniFromLeft(left, total []float64, nl, nr float64) float64 {
+	lImp := giniSSE(left, nl)
+	right := make([]float64, len(total))
+	for i := range total {
+		right[i] = total[i] - left[i]
+	}
+	return lImp + giniSSE(right, nr)
+}
+
+// bestNominalSplit orders categories by mean response (regression) or by
+// first-class proportion (classification) and scans boundaries. The
+// ordering is provably optimal for regression and two-class targets
+// (Breiman et al., Thm 4.5); for multiclass it is a standard heuristic.
+func (b *builder) bestNominalSplit(fi int, idx []int) (split, bool) {
+	col := b.cols[fi]
+	nLevels := len(b.tree.Features[fi].Levels)
+	counts := make([]int, nLevels)
+	score := make([]float64, nLevels) // order key per category
+	if b.cfg.Task == Regression {
+		sums := make([]float64, nLevels)
+		for _, r := range idx {
+			c := int(col[r])
+			counts[c]++
+			sums[c] += b.y[r]
+		}
+		for c := range score {
+			if counts[c] > 0 {
+				score[c] = sums[c] / float64(counts[c])
+			}
+		}
+	} else {
+		firstClass := make([]float64, nLevels)
+		for _, r := range idx {
+			c := int(col[r])
+			counts[c]++
+			if int(b.y[r]) == 0 {
+				firstClass[c]++
+			}
+		}
+		for c := range score {
+			if counts[c] > 0 {
+				score[c] = firstClass[c] / float64(counts[c])
+			}
+		}
+	}
+	present := make([]int, 0, nLevels)
+	for c, n := range counts {
+		if n > 0 {
+			present = append(present, c)
+		}
+	}
+	if len(present) < 2 {
+		return split{}, false
+	}
+	sort.Slice(present, func(a, c int) bool { return score[present[a]] < score[present[c]] })
+
+	// Scan over the category ordering: rows are processed category by
+	// category, reusing the numeric machinery over a virtual ordering.
+	n := len(idx)
+	bestGain := 0.0
+	bestCut := -1
+	if b.cfg.Task == Regression {
+		totalSum, totalSq := 0.0, 0.0
+		catSum := make([]float64, nLevels)
+		catSq := make([]float64, nLevels)
+		for _, r := range idx {
+			c := int(col[r])
+			catSum[c] += b.y[r]
+			catSq[c] += b.y[r] * b.y[r]
+			totalSum += b.y[r]
+			totalSq += b.y[r] * b.y[r]
+		}
+		parentImp := totalSq - totalSum*totalSum/float64(n)
+		leftSum, leftSq, nl := 0.0, 0.0, 0
+		for k := 0; k < len(present)-1; k++ {
+			c := present[k]
+			leftSum += catSum[c]
+			leftSq += catSq[c]
+			nl += counts[c]
+			nr := n - nl
+			if nl < b.cfg.MinLeaf || nr < b.cfg.MinLeaf {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			childImp := (leftSq - leftSum*leftSum/float64(nl)) +
+				(rightSq - rightSum*rightSum/float64(nr))
+			if g := parentImp - childImp; g > bestGain {
+				bestGain, bestCut = g, k
+			}
+		}
+	} else {
+		total := make([]float64, b.nClasses)
+		catClass := make([][]float64, nLevels)
+		for _, r := range idx {
+			c := int(col[r])
+			if catClass[c] == nil {
+				catClass[c] = make([]float64, b.nClasses)
+			}
+			catClass[c][int(b.y[r])]++
+			total[int(b.y[r])]++
+		}
+		parentImp := giniSSE(total, float64(n))
+		left := make([]float64, b.nClasses)
+		nl := 0
+		for k := 0; k < len(present)-1; k++ {
+			c := present[k]
+			for cl := range left {
+				left[cl] += catClass[c][cl]
+			}
+			nl += counts[c]
+			nr := n - nl
+			if nl < b.cfg.MinLeaf || nr < b.cfg.MinLeaf {
+				continue
+			}
+			childImp := giniFromLeft(left, total, float64(nl), float64(nr))
+			if g := parentImp - childImp; g > bestGain {
+				bestGain, bestCut = g, k
+			}
+		}
+	}
+	if bestCut < 0 || bestGain <= 0 {
+		return split{}, false
+	}
+	set := make([]uint64, (nLevels+63)/64)
+	for k := 0; k <= bestCut; k++ {
+		c := present[k]
+		set[c/64] |= 1 << (uint(c) % 64)
+	}
+	return split{feature: fi, leftSet: set, gain: bestGain}, true
+}
+
+// numberLeaves assigns LeafID values in left-to-right order and caches
+// the leaf list.
+func (t *Tree) numberLeaves() {
+	t.leaves = t.leaves[:0]
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			n.LeafID = len(t.leaves)
+			t.leaves = append(t.leaves, n)
+			return
+		}
+		n.LeafID = -1
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.Root)
+}
+
+// Leaves returns the tree's leaves in left-to-right order.
+func (t *Tree) Leaves() []*Node { return t.leaves }
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int { return len(t.leaves) }
+
+// Depth returns the depth of the tree (root = 0).
+func (t *Tree) Depth() int {
+	var d func(n *Node) int
+	d = func(n *Node) int {
+		if n.IsLeaf() {
+			return 0
+		}
+		l, r := d(n.Left), d(n.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return d(t.Root)
+}
+
+// leafFor routes one row (given as per-feature values) to its leaf.
+func (t *Tree) leafFor(x []float64) *Node {
+	n := t.Root
+	for !n.IsLeaf() {
+		feat := t.Features[n.Feature]
+		v := x[n.Feature]
+		var goLeft bool
+		if feat.Kind == frame.Nominal {
+			c := int(v)
+			if c < 0 || c >= len(feat.Levels) {
+				goLeft = n.DefaultLeft
+			} else {
+				goLeft = n.inLeftSet(c)
+			}
+		} else {
+			goLeft = v <= n.Threshold
+		}
+		if goLeft {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n
+}
+
+// Predict returns the model output for one row of feature values, in the
+// order of Tree.Features. For regression this is the leaf mean; for
+// classification the majority class index.
+func (t *Tree) Predict(x []float64) (float64, error) {
+	if len(x) != len(t.Features) {
+		return 0, fmt.Errorf("cart: got %d features, want %d", len(x), len(t.Features))
+	}
+	return t.leafFor(x).Value, nil
+}
+
+// PredictProba returns the class-probability vector for one row of a
+// classification tree (the class frequencies of the reached leaf).
+func (t *Tree) PredictProba(x []float64) ([]float64, error) {
+	if t.Task != Classification {
+		return nil, errors.New("cart: PredictProba requires a classification tree")
+	}
+	if len(x) != len(t.Features) {
+		return nil, fmt.Errorf("cart: got %d features, want %d", len(x), len(t.Features))
+	}
+	leaf := t.leafFor(x)
+	out := make([]float64, len(leaf.ClassCounts))
+	total := 0.0
+	for _, c := range leaf.ClassCounts {
+		total += c
+	}
+	if total == 0 {
+		return out, nil
+	}
+	for i, c := range leaf.ClassCounts {
+		out[i] = c / total
+	}
+	return out, nil
+}
+
+// ProbaFrame returns, for every row of f, the probability of the class
+// with the given index (classification trees only).
+func (t *Tree) ProbaFrame(f *frame.Frame, class int) ([]float64, error) {
+	if t.Task != Classification {
+		return nil, errors.New("cart: ProbaFrame requires a classification tree")
+	}
+	if class < 0 || class >= len(t.ClassLevels) {
+		return nil, fmt.Errorf("cart: class %d out of range [0,%d)", class, len(t.ClassLevels))
+	}
+	cols, err := t.featureCols(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, f.NumRows())
+	x := make([]float64, len(cols))
+	for r := range out {
+		for i, c := range cols {
+			x[i] = c[r]
+		}
+		leaf := t.leafFor(x)
+		total := 0.0
+		for _, cc := range leaf.ClassCounts {
+			total += cc
+		}
+		if total > 0 {
+			out[r] = leaf.ClassCounts[class] / total
+		}
+	}
+	return out, nil
+}
+
+// PredictFrame predicts every row of f, which must contain the tree's
+// feature columns.
+func (t *Tree) PredictFrame(f *frame.Frame) ([]float64, error) {
+	cols, err := t.featureCols(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, f.NumRows())
+	x := make([]float64, len(cols))
+	for r := range out {
+		for i, c := range cols {
+			x[i] = c[r]
+		}
+		out[r] = t.leafFor(x).Value
+	}
+	return out, nil
+}
+
+// AssignLeaves returns the LeafID for every row of f. The paper uses
+// this to cluster racks into groups with similar failure behaviour.
+func (t *Tree) AssignLeaves(f *frame.Frame) ([]int, error) {
+	cols, err := t.featureCols(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, f.NumRows())
+	x := make([]float64, len(cols))
+	for r := range out {
+		for i, c := range cols {
+			x[i] = c[r]
+		}
+		out[r] = t.leafFor(x).LeafID
+	}
+	return out, nil
+}
+
+func (t *Tree) featureCols(f *frame.Frame) ([][]float64, error) {
+	cols := make([][]float64, len(t.Features))
+	for i, feat := range t.Features {
+		c, err := f.Col(feat.Name)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c.Data
+	}
+	return cols, nil
+}
+
+// Importance returns per-feature relative importance scaled so the most
+// important feature scores 100 (rpart's convention). Features never used
+// in a split score 0.
+func (t *Tree) Importance() map[string]float64 {
+	out := make(map[string]float64, len(t.Features))
+	maxRaw := 0.0
+	for _, v := range t.importanceRaw {
+		if v > maxRaw {
+			maxRaw = v
+		}
+	}
+	for i, feat := range t.Features {
+		if maxRaw == 0 {
+			out[feat.Name] = 0
+			continue
+		}
+		// Divide before scaling so the top feature is exactly 100 (the
+		// other order can overshoot by an ulp).
+		out[feat.Name] = 100 * (t.importanceRaw[i] / maxRaw)
+	}
+	return out
+}
+
+// RankedFeatures returns feature names ordered by decreasing importance.
+func (t *Tree) RankedFeatures() []string {
+	type fi struct {
+		name string
+		imp  float64
+	}
+	list := make([]fi, len(t.Features))
+	imp := t.Importance()
+	for i, f := range t.Features {
+		list[i] = fi{f.Name, imp[f.Name]}
+	}
+	sort.SliceStable(list, func(a, b int) bool { return list[a].imp > list[b].imp })
+	out := make([]string, len(list))
+	for i, e := range list {
+		out[i] = e.name
+	}
+	return out
+}

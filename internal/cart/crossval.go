@@ -1,0 +1,164 @@
+package cart
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rainshine/internal/frame"
+	"rainshine/internal/rng"
+)
+
+// CPRow is one row of a cross-validation complexity table, mirroring
+// rpart's printcp output: for each candidate complexity parameter, the
+// relative cross-validated error of the tree pruned at that cp.
+type CPRow struct {
+	CP float64
+	// Leaves is the leaf count of the full-data tree pruned at CP.
+	Leaves int
+	// XError is the k-fold cross-validated SSE, relative to the root
+	// (predict-the-mean) error; 1.0 means no better than a stump.
+	XError float64
+	// XStd is the standard error of XError across folds.
+	XStd float64
+}
+
+// CrossValidate evaluates candidate cp values by k-fold cross-validation
+// of regression trees, the procedure rpart uses to let analysts pick a
+// complexity that generalizes. cfg.CP is ignored; each candidate is
+// applied by pruning. Deterministic given the seed.
+func CrossValidate(f *frame.Frame, target string, features []string, cfg Config, candidates []float64, folds int, seed uint64) ([]CPRow, error) {
+	if folds < 2 {
+		return nil, errors.New("cart: need at least 2 folds")
+	}
+	if f.NumRows() < folds*2 {
+		return nil, fmt.Errorf("cart: %d rows cannot fill %d folds", f.NumRows(), folds)
+	}
+	if len(candidates) == 0 {
+		return nil, errors.New("cart: no cp candidates")
+	}
+	if cfg.Task != Regression {
+		return nil, errors.New("cart: cross-validation implemented for regression trees")
+	}
+	// Assign rows to folds by a deterministic shuffle.
+	n := f.NumRows()
+	perm := rng.New(seed).Split("cart/cv").Perm(n)
+	foldOf := make([]int, n)
+	for i, p := range perm {
+		foldOf[p] = i % folds
+	}
+	tc, err := f.Col(target)
+	if err != nil {
+		return nil, err
+	}
+	// Root (predict-the-mean) error per fold, for normalization.
+	rootSSE := make([]float64, folds)
+	foldRows := make([][]int, folds)
+	trainRows := make([][]int, folds)
+	for r := 0; r < n; r++ {
+		k := foldOf[r]
+		foldRows[k] = append(foldRows[k], r)
+		for j := 0; j < folds; j++ {
+			if j != k {
+				trainRows[j] = append(trainRows[j], r)
+			}
+		}
+	}
+	// Per-fold, per-candidate test SSE.
+	sse := make([][]float64, len(candidates))
+	for i := range sse {
+		sse[i] = make([]float64, folds)
+	}
+	growCfg := cfg
+	growCfg.CP = -1 // grow fully; candidates are applied by pruning
+	for k := 0; k < folds; k++ {
+		train := f.Subset(trainRows[k])
+		trainMean := 0.0
+		trainTarget, err := train.Col(target)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range trainTarget.Data {
+			trainMean += v
+		}
+		trainMean /= float64(len(trainTarget.Data))
+		for _, r := range foldRows[k] {
+			d := tc.Data[r] - trainMean
+			rootSSE[k] += d * d
+		}
+		tree, err := Fit(train, target, features, growCfg)
+		if err != nil {
+			return nil, fmt.Errorf("cart: fold %d: %w", k, err)
+		}
+		test := f.Subset(foldRows[k])
+		// Candidates ascend, and pruning at a larger cp only removes
+		// more nodes, so successive Prune calls reuse the same tree.
+		for i, cp := range candidates {
+			if i > 0 && cp < candidates[i-1] {
+				return nil, errors.New("cart: cp candidates must be ascending")
+			}
+			tree.Prune(cp)
+			preds, err := tree.PredictFrame(test)
+			if err != nil {
+				return nil, err
+			}
+			for j, r := range foldRows[k] {
+				d := tc.Data[r] - preds[j]
+				sse[i][k] += d * d
+			}
+		}
+	}
+	// Full-data trees for the leaf counts.
+	full, err := Fit(f, target, features, growCfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CPRow, len(candidates))
+	for i, cp := range candidates {
+		full.Prune(cp)
+		rel := make([]float64, folds)
+		mean := 0.0
+		for k := 0; k < folds; k++ {
+			if rootSSE[k] > 0 {
+				rel[k] = sse[i][k] / rootSSE[k]
+			}
+			mean += rel[k]
+		}
+		mean /= float64(folds)
+		varr := 0.0
+		for k := 0; k < folds; k++ {
+			d := rel[k] - mean
+			varr += d * d
+		}
+		out[i] = CPRow{
+			CP:     cp,
+			Leaves: full.NumLeaves(),
+			XError: mean,
+			XStd:   math.Sqrt(varr / float64(folds*(folds-1))),
+		}
+	}
+	return out, nil
+}
+
+// BestCP returns the candidate chosen by the one-standard-error rule:
+// the largest cp whose cross-validated error is within one standard
+// error of the minimum (rpart's recommended selection).
+func BestCP(table []CPRow) (float64, error) {
+	if len(table) == 0 {
+		return 0, errors.New("cart: empty cp table")
+	}
+	best := table[0]
+	for _, row := range table[1:] {
+		if row.XError < best.XError {
+			best = row
+		}
+	}
+	threshold := best.XError + best.XStd
+	chosen := best
+	for _, row := range table {
+		if row.XError <= threshold && row.CP > chosen.CP {
+			chosen = row
+		}
+	}
+	return chosen.CP, nil
+}

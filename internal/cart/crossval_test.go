@@ -1,0 +1,165 @@
+package cart
+
+import (
+	"testing"
+
+	"rainshine/internal/frame"
+	"rainshine/internal/rng"
+)
+
+// cvFrame: y has real structure on x (a step) plus noise; a pure-noise
+// feature z is available to overfit on.
+func cvFrame(t *testing.T, n int) *frame.Frame {
+	t.Helper()
+	src := rng.New(51)
+	x := make([]float64, n)
+	z := make([]float64, n)
+	y := make([]float64, n)
+	for i := range y {
+		x[i] = src.Float64() * 10
+		z[i] = src.Float64()
+		if x[i] > 5 {
+			y[i] = 2
+		}
+		y[i] += src.NormFloat64() * 0.8
+	}
+	f := frame.New(n)
+	for _, c := range []struct {
+		name string
+		data []float64
+	}{{"x", x}, {"z", z}, {"y", y}} {
+		if err := f.AddContinuous(c.name, c.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+var cvCandidates = []float64{0.0005, 0.002, 0.01, 0.05, 0.2, 0.95}
+
+func TestCrossValidateTable(t *testing.T) {
+	f := cvFrame(t, 800)
+	cfg := Config{Task: Regression, MaxDepth: 8, MinSplit: 10, MinLeaf: 5}
+	table, err := CrossValidate(f, "y", []string{"x", "z"}, cfg, cvCandidates, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != len(cvCandidates) {
+		t.Fatalf("rows = %d", len(table))
+	}
+	// Leaf counts shrink as cp grows.
+	for i := 1; i < len(table); i++ {
+		if table[i].Leaves > table[i-1].Leaves {
+			t.Errorf("leaves not monotone: %+v", table)
+		}
+	}
+	// The real structure explains ~variance: some candidate must beat
+	// the stump clearly, and the loosest cp (overfit on z) should not be
+	// the unique best.
+	minErr := table[0].XError
+	for _, row := range table {
+		if row.XError < minErr {
+			minErr = row.XError
+		}
+		if row.XStd < 0 {
+			t.Errorf("negative xstd: %+v", row)
+		}
+	}
+	if minErr > 0.75 {
+		t.Errorf("cross-validated error %v never clearly beat the stump", minErr)
+	}
+	// The tightest cp (0.6) prunes everything: its error ~1.
+	last := table[len(table)-1]
+	if last.Leaves != 1 || last.XError < 0.9 {
+		t.Errorf("heaviest pruning row = %+v, want stump-like", last)
+	}
+}
+
+func TestBestCPOneSERule(t *testing.T) {
+	table := []CPRow{
+		{CP: 0.001, Leaves: 30, XError: 0.52, XStd: 0.03},
+		{CP: 0.01, Leaves: 8, XError: 0.50, XStd: 0.03},
+		{CP: 0.05, Leaves: 3, XError: 0.52, XStd: 0.03},
+		{CP: 0.2, Leaves: 1, XError: 1.00, XStd: 0.02},
+	}
+	cp, err := BestCP(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Min is 0.50 at cp=0.01; 0.52 <= 0.53, so the 1-SE rule picks the
+	// simpler cp=0.05 tree.
+	if cp != 0.05 {
+		t.Errorf("BestCP = %v, want 0.05", cp)
+	}
+	if _, err := BestCP(nil); err == nil {
+		t.Error("empty table should error")
+	}
+}
+
+func TestCrossValidateSelectsGeneralizingCP(t *testing.T) {
+	f := cvFrame(t, 800)
+	cfg := Config{Task: Regression, MaxDepth: 8, MinSplit: 10, MinLeaf: 5}
+	table, err := CrossValidate(f, "y", []string{"x", "z"}, cfg, cvCandidates, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := BestCP(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chosen cp must keep the real split but discard the noise
+	// forest: strictly between the extremes.
+	if cp <= cvCandidates[0] || cp >= cvCandidates[len(cvCandidates)-1] {
+		t.Errorf("BestCP = %v, want an interior candidate", cp)
+	}
+	tree, err := Fit(f, "y", []string{"x", "z"}, Config{Task: Regression, MaxDepth: 8, MinSplit: 10, MinLeaf: 5, CP: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() < 2 || tree.NumLeaves() > 10 {
+		t.Errorf("tree at chosen cp has %d leaves", tree.NumLeaves())
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	f := cvFrame(t, 100)
+	cfg := Config{Task: Regression}
+	if _, err := CrossValidate(f, "y", []string{"x"}, cfg, cvCandidates, 1, 1); err == nil {
+		t.Error("single fold should error")
+	}
+	if _, err := CrossValidate(f, "y", []string{"x"}, cfg, nil, 5, 1); err == nil {
+		t.Error("no candidates should error")
+	}
+	if _, err := CrossValidate(f, "y", []string{"x"}, cfg, []float64{0.1, 0.01}, 5, 1); err == nil {
+		t.Error("descending candidates should error")
+	}
+	tiny := cvFrame(t, 8)
+	if _, err := CrossValidate(tiny, "y", []string{"x"}, cfg, cvCandidates, 5, 1); err == nil {
+		t.Error("too-few rows should error")
+	}
+	clsCfg := Config{Task: Classification}
+	if _, err := CrossValidate(f, "y", []string{"x"}, clsCfg, cvCandidates, 5, 1); err == nil {
+		t.Error("classification CV should report unimplemented")
+	}
+	if _, err := CrossValidate(f, "nope", []string{"x"}, cfg, cvCandidates, 5, 1); err == nil {
+		t.Error("missing target should error")
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	f := cvFrame(t, 400)
+	cfg := Config{Task: Regression, MaxDepth: 6, MinSplit: 10, MinLeaf: 5}
+	a, err := CrossValidate(f, "y", []string{"x", "z"}, cfg, cvCandidates, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(f, "y", []string{"x", "z"}, cfg, cvCandidates, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

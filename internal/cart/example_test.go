@@ -1,0 +1,36 @@
+package cart_test
+
+import (
+	"fmt"
+	"log"
+
+	"rainshine/internal/cart"
+	"rainshine/internal/frame"
+)
+
+// Example fits a small regression tree and inspects the split it found.
+func Example() {
+	// Ten servers: failure rate jumps when the inlet runs hot.
+	f := frame.New(10)
+	temps := []float64{62, 64, 66, 68, 70, 80, 82, 84, 86, 88}
+	rates := []float64{1, 1, 1, 1, 1, 3, 3, 3, 3, 3}
+	if err := f.AddContinuous("temp", temps); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.AddContinuous("rate", rates); err != nil {
+		log.Fatal(err)
+	}
+	tree, err := cart.Fit(f, "rate", []string{"temp"}, cart.Config{
+		Task: cart.Regression, MaxDepth: 1, MinSplit: 2, MinLeaf: 1, CP: -1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("split: temp <= %.0f\n", tree.Root.Threshold)
+	cool, _ := tree.Predict([]float64{65})
+	hot, _ := tree.Predict([]float64{85})
+	fmt.Printf("cool rate %.0f, hot rate %.0f\n", cool, hot)
+	// Output:
+	// split: temp <= 75
+	// cool rate 1, hot rate 3
+}

@@ -1,0 +1,83 @@
+package cart
+
+import (
+	"fmt"
+	"strings"
+
+	"rainshine/internal/frame"
+)
+
+// String renders the tree in an rpart-like indented format, useful for
+// inspecting the splits the MF analysis discovered (e.g. the paper's
+// T = 78 °F / RH = 25 % branches in Fig 18).
+func (t *Tree) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CART (%s ~ ", t.Target)
+	for i, f := range t.Features {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name)
+	}
+	b.WriteString(")\n")
+	t.printNode(&b, t.Root, 0, "root")
+	return b.String()
+}
+
+func (t *Tree) printNode(b *strings.Builder, n *Node, depth int, label string) {
+	indent := strings.Repeat("  ", depth)
+	if n.IsLeaf() {
+		fmt.Fprintf(b, "%s%s -> leaf#%d n=%d value=%.4g\n", indent, label, n.LeafID, n.N, n.Value)
+		return
+	}
+	fmt.Fprintf(b, "%s%s: split on %s n=%d\n", indent, label, t.splitDesc(n), n.N)
+	t.printNode(b, n.Left, depth+1, "L")
+	t.printNode(b, n.Right, depth+1, "R")
+}
+
+// splitDesc renders a node's split condition (the left-branch predicate).
+func (t *Tree) splitDesc(n *Node) string {
+	f := t.Features[n.Feature]
+	if f.Kind != frame.Nominal {
+		return fmt.Sprintf("%s <= %.4g", f.Name, n.Threshold)
+	}
+	var cats []string
+	for c, lvl := range f.Levels {
+		if n.inLeftSet(c) {
+			cats = append(cats, lvl)
+		}
+	}
+	return fmt.Sprintf("%s in {%s}", f.Name, strings.Join(cats, ","))
+}
+
+// DescribeLeaf returns the conjunction of split conditions on the path
+// from the root to the leaf with the given LeafID. This is the
+// "N(X2), ..., N(Xn)" context of the paper's partial dependence notation.
+func (t *Tree) DescribeLeaf(leafID int) (string, error) {
+	var path []string
+	var found bool
+	var walk func(n *Node, conds []string)
+	walk = func(n *Node, conds []string) {
+		if found {
+			return
+		}
+		if n.IsLeaf() {
+			if n.LeafID == leafID {
+				path = append([]string(nil), conds...)
+				found = true
+			}
+			return
+		}
+		desc := t.splitDesc(n)
+		walk(n.Left, append(conds, desc))
+		walk(n.Right, append(conds, "NOT("+desc+")"))
+	}
+	walk(t.Root, nil)
+	if !found {
+		return "", fmt.Errorf("cart: no leaf %d", leafID)
+	}
+	if len(path) == 0 {
+		return "(root)", nil
+	}
+	return strings.Join(path, " AND "), nil
+}

@@ -1,0 +1,67 @@
+package cart
+
+// Prune performs weakest-link cost-complexity pruning: every internal
+// node whose subtree does not reduce impurity by at least alpha per
+// extra leaf is collapsed. Pruning mutates the tree in place and
+// renumbers leaves. alpha is expressed as a fraction of the root
+// impurity, matching rpart's cp scale.
+func (t *Tree) Prune(alpha float64) {
+	if alpha <= 0 || t.Root.IsLeaf() {
+		return
+	}
+	threshold := alpha * t.Root.Impurity
+	for {
+		node, g := weakestLink(t.Root)
+		if node == nil || g >= threshold {
+			break
+		}
+		collapse(node)
+	}
+	t.numberLeaves()
+}
+
+// PruneToLeaves prunes weakest links until the tree has at most n leaves.
+func (t *Tree) PruneToLeaves(n int) {
+	if n < 1 {
+		n = 1
+	}
+	for t.NumLeaves() > n {
+		node, _ := weakestLink(t.Root)
+		if node == nil {
+			break
+		}
+		collapse(node)
+		t.numberLeaves()
+	}
+}
+
+// weakestLink finds the internal node with the smallest per-leaf
+// impurity reduction g(t) = (R(t) - R(T_t)) / (|T_t| - 1).
+func weakestLink(root *Node) (*Node, float64) {
+	var best *Node
+	bestG := 0.0
+	var walk func(n *Node) (subtreeImp float64, leaves int)
+	walk = func(n *Node) (float64, int) {
+		if n.IsLeaf() {
+			return n.Impurity, 1
+		}
+		li, ll := walk(n.Left)
+		ri, rl := walk(n.Right)
+		imp, leaves := li+ri, ll+rl
+		g := (n.Impurity - imp) / float64(leaves-1)
+		if best == nil || g < bestG {
+			best, bestG = n, g
+		}
+		return imp, leaves
+	}
+	walk(root)
+	return best, bestG
+}
+
+// collapse turns an internal node into a leaf.
+func collapse(n *Node) {
+	n.Left, n.Right = nil, nil
+	n.Feature = -1
+	n.Threshold = 0
+	n.LeftSet = nil
+}

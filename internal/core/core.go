@@ -1,0 +1,143 @@
+// Package core is the paper's primary contribution: the multi-factor
+// (MF) analysis framework of Section V. It ties the CART learner and the
+// partial-dependence machinery into the two question-category workflows:
+//
+//   - Cat. 1 (aggregate behaviour): Cluster splits a population (racks)
+//     into groups with homogeneous failure behaviour by fitting a
+//     regression tree Metric ~ X1..Xn and reading its leaves. Downstream
+//     decisions (spare provisioning) are then made per group instead of
+//     from one pooled distribution.
+//
+//   - Cat. 2 (decision-variable influence): Marginal quantifies the
+//     effect of one variable on the metric with the influence of every
+//     other observed factor normalized out — the paper's
+//     "Metric ~ X1, N(X2), ..., N(Xn)" procedure.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rainshine/internal/cart"
+	"rainshine/internal/frame"
+	"rainshine/internal/pdp"
+)
+
+// Clustering is the result of a Cat.-1 analysis: a fitted tree and the
+// groups its leaves induce.
+type Clustering struct {
+	Tree *cart.Tree
+	// Assignment maps each input row to its cluster (leaf) index.
+	Assignment []int
+	// Members lists the row indices of each cluster.
+	Members [][]int
+	// Importance ranks the factors that formed the clusters.
+	Importance map[string]float64
+}
+
+// NumClusters returns the number of groups found.
+func (c *Clustering) NumClusters() int { return len(c.Members) }
+
+// Describe returns the factor-condition path defining a cluster.
+func (c *Clustering) Describe(cluster int) (string, error) {
+	return c.Tree.DescribeLeaf(cluster)
+}
+
+// Cluster fits Metric ~ features over f and groups rows by tree leaf.
+// cfg zero-values fall back to CART defaults; a typical call bounds the
+// leaf count via MaxLeaves to keep groups reviewable.
+func Cluster(f *frame.Frame, metric string, features []string, cfg cart.Config, maxLeaves int) (*Clustering, error) {
+	cfg.Task = cart.Regression
+	tree, err := cart.Fit(f, metric, features, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering: %w", err)
+	}
+	if maxLeaves > 0 && tree.NumLeaves() > maxLeaves {
+		tree.PruneToLeaves(maxLeaves)
+	}
+	assign, err := tree.AssignLeaves(f)
+	if err != nil {
+		return nil, err
+	}
+	members := make([][]int, tree.NumLeaves())
+	for row, leaf := range assign {
+		members[leaf] = append(members[leaf], row)
+	}
+	return &Clustering{
+		Tree:       tree,
+		Assignment: assign,
+		Members:    members,
+		Importance: tree.Importance(),
+	}, nil
+}
+
+// CVCandidates is the default complexity ladder for cross-validated
+// clustering.
+var CVCandidates = []float64{0.0005, 0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064}
+
+// ClusterCV is Cluster with the complexity parameter chosen by k-fold
+// cross-validation and the one-standard-error rule, instead of a fixed
+// cp — rpart's recommended workflow. Use when there is no prior for how
+// much structure the metric has.
+func ClusterCV(f *frame.Frame, metric string, features []string, cfg cart.Config, maxLeaves, folds int, seed uint64) (*Clustering, error) {
+	cfg.Task = cart.Regression
+	table, err := cart.CrossValidate(f, metric, features, cfg, CVCandidates, folds, seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: cross-validating: %w", err)
+	}
+	cp, err := cart.BestCP(table)
+	if err != nil {
+		return nil, err
+	}
+	cfg.CP = cp
+	return Cluster(f, metric, features, cfg, maxLeaves)
+}
+
+// MarginalResult is the outcome of a Cat.-2 analysis.
+type MarginalResult struct {
+	// Effects holds one adjusted effect per level of the variable of
+	// interest (from direct standardization).
+	Effects []pdp.LevelEffect
+	// PDP holds the tree-based partial dependence curve, when a tree
+	// was fitted (categorical and continuous variables alike).
+	PDP []pdp.Point
+	// Tree is the fitted MF model, exposed for inspection of splits
+	// (e.g. the T=78°F / RH=25% thresholds of Fig 18).
+	Tree *cart.Tree
+}
+
+// Marginal quantifies the influence of `of` on `metric`, normalizing the
+// named covariates. Categorical covariates are used as-is; continuous
+// covariates must have been binned (pdp.BinContinuous) by the caller for
+// the standardization path. A CART model over all variables provides the
+// partial-dependence view.
+func Marginal(f *frame.Frame, metric, of string, covariates []string, cfg cart.Config) (*MarginalResult, error) {
+	if len(covariates) == 0 {
+		return nil, errors.New("core: marginal analysis needs covariates to normalize")
+	}
+	cfg.Task = cart.Regression
+	all := append([]string{of}, covariates...)
+	tree, err := cart.Fit(f, metric, all, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: marginal: %w", err)
+	}
+	curve, err := pdp.Compute(tree, f, of, 0)
+	if err != nil {
+		return nil, err
+	}
+	res := &MarginalResult{PDP: curve, Tree: tree}
+	// Standardization applies when the variable of interest is
+	// categorical.
+	col, err := f.Col(of)
+	if err != nil {
+		return nil, err
+	}
+	if col.Kind != frame.Continuous {
+		effects, err := pdp.Standardize(f, metric, of, covariates)
+		if err != nil {
+			return nil, fmt.Errorf("core: standardization: %w", err)
+		}
+		res.Effects = effects
+	}
+	return res, nil
+}

@@ -1,0 +1,269 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rainshine/internal/rng"
+	"rainshine/internal/stats"
+)
+
+func sampleN(s Sampler, src *rng.Source, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.Sample(src)
+	}
+	return xs
+}
+
+func TestPoissonMoments(t *testing.T) {
+	tests := []struct {
+		name   string
+		lambda float64
+	}{
+		{"tiny", 0.1},
+		{"small", 3},
+		{"boundary", 29.9},
+		{"ptrs", 50},
+		{"large", 400},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			src := rng.New(7).Split(tt.name)
+			xs := sampleN(Poisson{Lambda: tt.lambda}, src, 40000)
+			m := stats.Mean(xs)
+			v := stats.Variance(xs)
+			tol := 4 * math.Sqrt(tt.lambda/40000) // ~4 sigma of the mean estimator
+			if math.Abs(m-tt.lambda) > tol {
+				t.Errorf("mean = %v, want %v +- %v", m, tt.lambda, tol)
+			}
+			if math.Abs(v-tt.lambda)/tt.lambda > 0.1 {
+				t.Errorf("variance = %v, want ~%v", v, tt.lambda)
+			}
+		})
+	}
+}
+
+func TestPoissonZeroAndNegative(t *testing.T) {
+	src := rng.New(1)
+	if got := (Poisson{Lambda: 0}).SampleInt(src); got != 0 {
+		t.Errorf("Poisson(0) sample = %d", got)
+	}
+	if got := (Poisson{Lambda: -1}).SampleInt(src); got != 0 {
+		t.Errorf("Poisson(-1) sample = %d", got)
+	}
+	if got := (Poisson{Lambda: -1}).Mean(); got != 0 {
+		t.Errorf("Poisson(-1) mean = %v", got)
+	}
+}
+
+func TestPoissonPMF(t *testing.T) {
+	p := Poisson{Lambda: 2}
+	// P(X=0) = e^-2, P(X=2) = 2 e^-2.
+	if got, want := p.PMF(0), math.Exp(-2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PMF(0) = %v, want %v", got, want)
+	}
+	if got, want := p.PMF(2), 2*math.Exp(-2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PMF(2) = %v, want %v", got, want)
+	}
+	if p.PMF(-1) != 0 {
+		t.Error("PMF(-1) should be 0")
+	}
+	// PMF sums to ~1.
+	sum := 0.0
+	for k := 0; k < 40; k++ {
+		sum += p.PMF(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PMF sum = %v", sum)
+	}
+}
+
+func TestPoissonPMFMatchesSamples(t *testing.T) {
+	src := rng.New(3)
+	p := Poisson{Lambda: 5}
+	counts := map[int]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[p.SampleInt(src)]++
+	}
+	for k := 0; k <= 10; k++ {
+		want := p.PMF(k)
+		got := float64(counts[k]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("P(X=%d): sampled %v, pmf %v", k, got, want)
+		}
+	}
+}
+
+func TestExponential(t *testing.T) {
+	src := rng.New(11)
+	e := Exponential{Rate: 0.5}
+	xs := sampleN(e, src, 40000)
+	if m := stats.Mean(xs); math.Abs(m-2) > 0.05 {
+		t.Errorf("mean = %v, want 2", m)
+	}
+	if got := e.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v", got)
+	}
+	if got := e.CDF(-1); got != 0 {
+		t.Errorf("CDF(-1) = %v", got)
+	}
+	if got, want := e.CDF(2), 1-math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CDF(2) = %v, want %v", got, want)
+	}
+	if e.Mean() != 2 {
+		t.Errorf("Mean = %v", e.Mean())
+	}
+}
+
+func TestWeibullRegimes(t *testing.T) {
+	// Shape < 1: hazard decreasing; shape > 1: increasing.
+	infant := Weibull{K: 0.5, Lambda: 100}
+	if infant.Hazard(1) <= infant.Hazard(10) {
+		t.Error("K<1 hazard should decrease with age")
+	}
+	wearout := Weibull{K: 3, Lambda: 100}
+	if wearout.Hazard(1) >= wearout.Hazard(10) {
+		t.Error("K>1 hazard should increase with age")
+	}
+	// K=1 reduces to Exponential.
+	exp1 := Weibull{K: 1, Lambda: 2}
+	if math.Abs(exp1.Hazard(1)-0.5) > 1e-9 || math.Abs(exp1.Hazard(7)-0.5) > 1e-9 {
+		t.Error("K=1 hazard should be constant 1/lambda")
+	}
+}
+
+func TestWeibullMoments(t *testing.T) {
+	src := rng.New(13)
+	w := Weibull{K: 2, Lambda: 10}
+	xs := sampleN(w, src, 40000)
+	want := w.Mean() // 10*Gamma(1.5) = 8.862...
+	if m := stats.Mean(xs); math.Abs(m-want)/want > 0.02 {
+		t.Errorf("mean = %v, want %v", m, want)
+	}
+}
+
+func TestWeibullCDFInverseProperty(t *testing.T) {
+	w := Weibull{K: 1.7, Lambda: 5}
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		x := w.Sample(src)
+		c := w.CDF(x)
+		return x >= 0 && c >= 0 && c <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	if w.CDF(-3) != 0 {
+		t.Error("CDF(-3) should be 0")
+	}
+}
+
+func TestNormal(t *testing.T) {
+	src := rng.New(17)
+	n := Normal{Mu: 5, Sigma: 2}
+	xs := sampleN(n, src, 40000)
+	if m := stats.Mean(xs); math.Abs(m-5) > 0.05 {
+		t.Errorf("mean = %v", m)
+	}
+	if sd := stats.StdDev(xs); math.Abs(sd-2) > 0.05 {
+		t.Errorf("sd = %v", sd)
+	}
+	if got := n.CDF(5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(mu) = %v", got)
+	}
+	if got := n.CDF(5 + 2*1.959964); math.Abs(got-0.975) > 1e-4 {
+		t.Errorf("CDF(mu+1.96sd) = %v", got)
+	}
+}
+
+func TestLogNormal(t *testing.T) {
+	src := rng.New(19)
+	l := LogNormal{Mu: 1, Sigma: 0.5}
+	xs := sampleN(l, src, 60000)
+	want := l.Mean()
+	if m := stats.Mean(xs); math.Abs(m-want)/want > 0.03 {
+		t.Errorf("mean = %v, want %v", m, want)
+	}
+	for _, x := range xs[:100] {
+		if x <= 0 {
+			t.Fatal("log-normal sample <= 0")
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	src := rng.New(23)
+	b := Bernoulli{P: 0.3}
+	hits := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if b.Sample(src) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("frequency = %v, want 0.3", frac)
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	c, err := NewCategorical(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	src := rng.New(29)
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[c.Sample(src)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d freq = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalSingle(t *testing.T) {
+	c, err := NewCategorical([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(1)
+	for i := 0; i < 10; i++ {
+		if c.Sample(src) != 0 {
+			t.Fatal("single-category sample != 0")
+		}
+	}
+}
+
+func TestCategoricalZeroWeightNeverSampled(t *testing.T) {
+	c, err := NewCategorical([]float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(31)
+	for i := 0; i < 20000; i++ {
+		if c.Sample(src) == 1 {
+			t.Fatal("zero-weight category was sampled")
+		}
+	}
+}
+
+func TestCategoricalErrors(t *testing.T) {
+	cases := [][]float64{nil, {}, {0, 0}, {-1, 2}, {math.NaN()}, {math.Inf(1)}}
+	for _, w := range cases {
+		if _, err := NewCategorical(w); err == nil {
+			t.Errorf("NewCategorical(%v) should error", w)
+		}
+	}
+}

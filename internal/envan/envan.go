@@ -1,0 +1,365 @@
+// Package envan answers Q3: how far can the environmental set points
+// (temperature, relative humidity) stray before reliability suffers?
+//
+// The SF view bins failure rates by operating temperature (Figs 16-17).
+// The MF view fits a CART over the disk failure rate with every factor
+// present, reads the temperature / humidity thresholds the tree
+// discovered, and contrasts the implied operating regimes per DC
+// (Fig 18): in the study, DC1 disks degrade ~50% above 78 °F and a
+// further ~25% below 25% RH, while DC2 (chilled water) is insensitive.
+package envan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rainshine/internal/cart"
+	"rainshine/internal/frame"
+	"rainshine/internal/stats"
+)
+
+// TempEdges are the Fig 16/17 temperature bins: <60, 60-65, 65-70,
+// 70-75, >75 °F (open ends are clamped by the histogram helper).
+var TempEdges = []float64{0, 60, 65, 70, 75, 200}
+
+// TempBinLabels label the bins for display.
+var TempBinLabels = []string{"<60", "60-65", "65-70", "70-75", ">75"}
+
+// BinnedRates returns, per temperature bin, the Summary of the value
+// column over rack-days (mean = the bar, sd = the error bar).
+func BinnedRates(f *frame.Frame, value string) ([]stats.Summary, error) {
+	tc, err := f.Col("temp")
+	if err != nil {
+		return nil, err
+	}
+	vc, err := f.Col(value)
+	if err != nil {
+		return nil, err
+	}
+	return stats.GroupedSummary(tc.Data, vc.Data, TempEdges)
+}
+
+// MFFeatures are the candidate factors for the environmental tree.
+// Region is included so spatial rate differences (hot aisles carry both
+// higher base hazard and higher temperatures) are absorbed by their own
+// splits instead of biasing the temperature threshold downward.
+// Month absorbs the seasonal failure ramp, which otherwise masquerades
+// as a temperature effect (hot months are also high-failure months for
+// non-environmental reasons).
+var MFFeatures = []string{"dc", "region", "temp", "rh", "age_months", "sku", "workload", "power_kw", "month"}
+
+// Thresholds holds the environmental split points the MF tree found.
+type Thresholds struct {
+	// TempF is the temperature split (°F); NaN if the tree found none.
+	TempF float64
+	// RH is the humidity split (%) conditional on hot operation; NaN if
+	// none was found.
+	RH float64
+}
+
+// GroupRates is one DC's failure rates across the Fig 18 regimes, each
+// a Summary of rack-day disk failure counts.
+type GroupRates struct {
+	DC     string
+	Cool   stats.Summary // temp <= threshold
+	Hot    stats.Summary // temp >= threshold
+	HotDry stats.Summary // temp >= threshold AND rh <= RH threshold
+	All    stats.Summary
+}
+
+// Result is the full Q3 MF analysis.
+type Result struct {
+	// Tree is the full MF model over every factor (for inspection and
+	// importance ranking).
+	Tree *cart.Tree
+	// EnvTree is the second-stage tree over the residual failure rate,
+	// from which the set-point thresholds are read.
+	EnvTree    *cart.Tree
+	Thresholds Thresholds
+	Groups     []GroupRates // one per DC
+}
+
+// BaselineFeatures are the non-environmental factors whose influence is
+// normalized out before reading the environmental thresholds — the
+// paper's "normalizing other factors such as age, SKU, workload, power
+// rating".
+var BaselineFeatures = []string{"dc", "region", "sku", "workload", "power_kw", "age_months", "month"}
+
+// Analyze runs the MF environmental analysis over a rack-day frame.
+//
+// Two-stage procedure: (1) fit a baseline tree of the disk failure rate
+// on every non-environmental factor and take residuals; (2) fit a small
+// tree of the residuals on the environmental variables and read its
+// split points. Stage 1 removes the spatial/hardware/seasonal variance
+// that would otherwise let a noisy interior split masquerade as the
+// environmental threshold.
+func Analyze(f *frame.Frame, cfg cart.Config) (*Result, error) {
+	if cfg.MaxDepth == 0 {
+		// Deep, permissive growth: the environmental effects live
+		// several splits below the dominant hardware/spatial factors,
+		// so rpart-default stopping would never reach them.
+		cfg = cart.Config{MaxDepth: 8, MinSplit: 2000, MinLeaf: 700, CP: 0.00005}
+	}
+	cfg.Task = cart.Regression
+	tree, err := cart.Fit(f, "disk_failures", MFFeatures, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("envan: fitting tree: %w", err)
+	}
+
+	// Stage 1: baseline on non-environmental factors.
+	baseCfg := cfg
+	baseline, err := cart.Fit(f, "disk_failures", BaselineFeatures, baseCfg)
+	if err != nil {
+		return nil, fmt.Errorf("envan: fitting baseline tree: %w", err)
+	}
+	pred, err := baseline.PredictFrame(f)
+	if err != nil {
+		return nil, err
+	}
+	diskCol0, err := f.Col("disk_failures")
+	if err != nil {
+		return nil, err
+	}
+	resid := make([]float64, f.NumRows())
+	for i := range resid {
+		resid[i] = winsorize(diskCol0.Data[i] - pred[i])
+	}
+	// Stage 2: a compact environment tree over the residuals. A fresh
+	// frame shares the env columns' storage with f.
+	envFrame := frame.New(f.NumRows())
+	for _, name := range []string{"dc", "temp", "rh"} {
+		c, err := f.Col(name)
+		if err != nil {
+			return nil, err
+		}
+		var addErr error
+		switch c.Kind {
+		case frame.Continuous:
+			addErr = envFrame.AddContinuous(name, c.Data)
+		default:
+			codes := make([]int, len(c.Data))
+			for i, v := range c.Data {
+				codes[i] = int(v)
+			}
+			addErr = envFrame.AddNominalInts(name, codes, c.Levels)
+		}
+		if addErr != nil {
+			return nil, addErr
+		}
+	}
+	if err := envFrame.AddContinuous("resid", resid); err != nil {
+		return nil, err
+	}
+	// No CP gate: the residual variance is dominated by burst noise, so
+	// any relative-improvement threshold would reject the real (small in
+	// SSE terms, large in rate terms) environmental step. Depth and leaf
+	// size keep the tree tame instead.
+	envTree, err := cart.Fit(envFrame, "resid", []string{"dc", "temp", "rh"},
+		cart.Config{Task: cart.Regression, MaxDepth: 3, MinSplit: 3000, MinLeaf: 1200, CP: -1})
+	if err != nil {
+		return nil, fmt.Errorf("envan: fitting env tree: %w", err)
+	}
+
+	th := Thresholds{TempF: math.NaN(), RH: math.NaN()}
+	if t, ok := bestThreshold(envTree, "temp", ""); ok {
+		th.TempF = t
+	}
+	if !math.IsNaN(th.TempF) {
+		// The paper reads RH as a sub-branch criterion *while operating
+		// above the temperature threshold*. The dedicated sub-fit also
+		// enforces the physical plausibility constraints (dry side
+		// worse, and a minority excursion regime) that a raw interior
+		// tree split does not.
+		if r, ok := hotRegimeRHSplit(envFrame, th.TempF); ok {
+			th.RH = r
+		}
+	}
+	res := &Result{Tree: tree, EnvTree: envTree, Thresholds: th}
+
+	dcCol, err := f.Col("dc")
+	if err != nil {
+		return nil, err
+	}
+	tempCol, err := f.Col("temp")
+	if err != nil {
+		return nil, err
+	}
+	rhCol, err := f.Col("rh")
+	if err != nil {
+		return nil, err
+	}
+	diskCol, err := f.Col("disk_failures")
+	if err != nil {
+		return nil, err
+	}
+	tThr := th.TempF
+	if math.IsNaN(tThr) {
+		tThr = 78 // fall back to the paper's published threshold
+	}
+	rThr := th.RH
+	if math.IsNaN(rThr) {
+		rThr = 25
+	}
+	for dcIdx, dcName := range dcCol.Levels {
+		var cool, hot, hotDry, all []float64
+		for r := 0; r < f.NumRows(); r++ {
+			if int(dcCol.Data[r]) != dcIdx {
+				continue
+			}
+			v := diskCol.Data[r]
+			all = append(all, v)
+			if tempCol.Data[r] <= tThr {
+				cool = append(cool, v)
+			} else {
+				hot = append(hot, v)
+				if rhCol.Data[r] <= rThr {
+					hotDry = append(hotDry, v)
+				}
+			}
+		}
+		g := GroupRates{DC: dcName}
+		g.Cool = summarizeOrZero(cool)
+		g.Hot = summarizeOrZero(hot)
+		g.HotDry = summarizeOrZero(hotDry)
+		g.All = summarizeOrZero(all)
+		res.Groups = append(res.Groups, g)
+	}
+	if len(res.Groups) == 0 {
+		return nil, errors.New("envan: no DC groups in frame")
+	}
+	return res, nil
+}
+
+// winsorize caps a residual's magnitude. Correlated bursts leave
+// residuals of many failures on single rack-days; untreated, their
+// squared error dwarfs the fractional environmental steps the residual
+// tree is looking for, letting splits chase burst noise instead.
+func winsorize(r float64) float64 {
+	const cap = 1.0
+	if r > cap {
+		return cap
+	}
+	if r < -cap {
+		return -cap
+	}
+	return r
+}
+
+// hotRegimeRHSplit searches for the humidity sub-branch criterion within
+// the hot regime: the CART gain criterion (between-group SSE reduction)
+// evaluated over admissible splits only — the dry side must be the
+// harmful minority, since the paper's finding is an excursion boundary,
+// not a median split. Returns (threshold, true) when an admissible split
+// with positive gain exists.
+func hotRegimeRHSplit(envFrame *frame.Frame, tempThr float64) (float64, bool) {
+	tempCol, err := envFrame.Col("temp")
+	if err != nil {
+		return 0, false
+	}
+	hot := envFrame.Filter(func(r int) bool { return tempCol.Data[r] > tempThr })
+	if hot.NumRows() < 200 {
+		return 0, false
+	}
+	rh := hot.MustCol("rh").Data
+	resid := hot.MustCol("resid").Data
+	n := len(rh)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return rh[idx[a]] < rh[idx[b]] })
+	total := 0.0
+	for _, v := range resid {
+		total += v
+	}
+	minLeaf := n / 20
+	if minLeaf < 100 {
+		minLeaf = 100
+	}
+	bestGain, bestThr := 0.0, 0.0
+	found := false
+	drySum := 0.0
+	for k := 0; k < n-1; k++ {
+		drySum += resid[idx[k]]
+		if rh[idx[k]] == rh[idx[k+1]] {
+			continue
+		}
+		nd := k + 1
+		nh := n - nd
+		// Admissibility: enough support on both sides, dry side a
+		// minority of hot operation.
+		if nd < minLeaf || nh < minLeaf || 2*nd >= n {
+			continue
+		}
+		meanDry := drySum / float64(nd)
+		meanHumid := (total - drySum) / float64(nh)
+		if meanDry <= meanHumid {
+			continue // humid side worse: not the paper's dry effect
+		}
+		d := meanDry - meanHumid
+		gain := float64(nd) * float64(nh) / float64(n) * d * d
+		if gain > bestGain {
+			bestGain = gain
+			bestThr = (rh[idx[k]] + rh[idx[k+1]]) / 2
+			found = true
+		}
+	}
+	return bestThr, found
+}
+
+func summarizeOrZero(xs []float64) stats.Summary {
+	s, err := stats.Summarize(xs)
+	if err != nil {
+		return stats.Summary{}
+	}
+	return s
+}
+
+// bestThreshold walks the tree and returns the threshold of the
+// highest-gain split on the named continuous feature. When condFeature
+// is non-empty, only splits inside right (greater-than) subtrees of a
+// condFeature split are eligible — used for the RH threshold, which the
+// paper finds conditional on hot operation (a temp split).
+func bestThreshold(t *cart.Tree, feature, condFeature string) (float64, bool) {
+	idx := func(name string) int {
+		for i, f := range t.Features {
+			if f.Name == name {
+				return i
+			}
+		}
+		return -1
+	}
+	fi := idx(feature)
+	if fi < 0 {
+		return 0, false
+	}
+	ci := -1
+	if condFeature != "" {
+		ci = idx(condFeature)
+		if ci < 0 {
+			return 0, false
+		}
+	}
+	bestGain := 0.0
+	bestThr := 0.0
+	found := false
+	var walk func(n *cart.Node, inCond bool)
+	walk = func(n *cart.Node, inCond bool) {
+		if n.IsLeaf() {
+			return
+		}
+		if n.Feature == fi && (ci < 0 || inCond) {
+			gain := n.Impurity - n.Left.Impurity - n.Right.Impurity
+			if gain > bestGain {
+				bestGain, bestThr, found = gain, n.Threshold, true
+			}
+		}
+		rightCond := inCond || n.Feature == ci
+		walk(n.Left, inCond)
+		walk(n.Right, rightCond)
+	}
+	walk(t.Root, false)
+	return bestThr, found
+}

@@ -1,0 +1,176 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rainshine/internal/failure"
+	"rainshine/internal/frame"
+	"rainshine/internal/simulate"
+	"rainshine/internal/ticket"
+)
+
+func TestTicketsCSV(t *testing.T) {
+	tickets := []ticket.Ticket{
+		{ID: 0, Day: 0, Hour: 3.5, DC: 0, Rack: 7, Fault: ticket.DiskFailure, RepairHours: 8.25},
+		{ID: 1, Day: 366, Hour: 23.9, DC: 1, Rack: 2, Fault: ticket.Timeout, FalsePositive: true},
+	}
+	var buf bytes.Buffer
+	if err := TicketsCSV(&buf, tickets); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "id" || rows[0][6] != "category" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][1] != "2012-01-01" || rows[1][4] != "DC1" || rows[1][6] != "Hardware" || rows[1][7] != "Disk failure" {
+		t.Errorf("row 1 = %v", rows[1])
+	}
+	if rows[2][1] != "2013-01-01" || rows[2][8] != "true" {
+		t.Errorf("row 2 = %v", rows[2])
+	}
+}
+
+func TestEventsJSONL(t *testing.T) {
+	events := []simulate.Event{
+		{Rack: 3, Day: 59, Hour: 12.5, Component: failure.Disk, RepairHours: 6, Shock: true},
+		{Rack: 4, Day: 60, Hour: 0.1, Component: failure.DIMM, RepairHours: 4},
+	}
+	var buf bytes.Buffer
+	if err := EventsJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["component"] != "disk" || rec["shock"] != true || rec["date"] != "2012-02-29" {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestFrameCSV(t *testing.T) {
+	f := frame.New(2)
+	if err := f.AddContinuous("x", []float64{1.5, 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddNominalInts("dc", []int{0, 1}, []string{"DC1", "DC2"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := FrameCSV(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != "x" || rows[0][1] != "dc" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][0] != "1.5" || rows[1][1] != "DC1" || rows[2][1] != "DC2" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+type failingWriter struct{ after int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if len(p) > w.after {
+		return 0, errWrite
+	}
+	w.after -= len(p)
+	return len(p), nil
+}
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "synthetic write failure" }
+
+func TestWriterErrorsPropagate(t *testing.T) {
+	tickets := make([]ticket.Ticket, 100)
+	if err := TicketsCSV(&failingWriter{after: 10}, tickets); err == nil {
+		t.Error("TicketsCSV should propagate write errors")
+	}
+	events := make([]simulate.Event, 100)
+	if err := EventsJSONL(&failingWriter{after: 10}, events); err == nil {
+		t.Error("EventsJSONL should propagate write errors")
+	}
+	f := frame.New(100)
+	if err := f.AddContinuous("x", make([]float64, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := FrameCSV(&failingWriter{after: 1}, f); err == nil {
+		t.Error("FrameCSV should propagate write errors")
+	}
+}
+
+func TestReadFrameCSVRoundTrip(t *testing.T) {
+	f := frame.New(3)
+	if err := f.AddContinuous("temp", []float64{70.5, 80, 65.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddNominalInts("dc", []int{0, 1, 0}, []string{"DC1", "DC2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddContinuous("failures", []float64{0, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := FrameCSV(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrameCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 3 || back.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d", back.NumRows(), back.NumCols())
+	}
+	tc := back.MustCol("temp")
+	if tc.Kind != frame.Continuous || tc.Data[2] != 65.25 {
+		t.Errorf("temp col = %+v", tc)
+	}
+	dc := back.MustCol("dc")
+	if dc.Kind != frame.Nominal || dc.LevelOf(dc.Data[1]) != "DC2" {
+		t.Errorf("dc col = %+v", dc)
+	}
+}
+
+func TestReadFrameCSVErrors(t *testing.T) {
+	cases := []string{
+		"",           // empty
+		"a,b\n",      // header only
+		"a,b\n1\n",   // ragged row
+		",b\n1,2\n",  // empty column name
+		"a,a\n1,2\n", // duplicate column
+	}
+	for _, in := range cases {
+		if _, err := ReadFrameCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should error", in)
+		}
+	}
+	// Mixed numeric/text column becomes nominal, not an error.
+	f, err := ReadFrameCSV(strings.NewReader("x\n1\nfoo\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MustCol("x").Kind != frame.Nominal {
+		t.Error("mixed column should be nominal")
+	}
+}

@@ -1,0 +1,32 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFrameCSV feeds arbitrary bytes into the CSV importer: it must
+// either return a well-formed frame or an error — never panic, and any
+// returned frame must satisfy basic invariants.
+func FuzzReadFrameCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n3,x\n")
+	f.Add("temp,dc\n70.5,DC1\n80,DC2\n")
+	f.Add("x\n\n")
+	f.Add("a,a\n1,2\n")
+	f.Add("\"q\"\"uote\",c\n1,2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		fr, err := ReadFrameCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if fr.NumRows() < 1 || fr.NumCols() < 1 {
+			t.Fatalf("accepted degenerate frame %dx%d from %q", fr.NumRows(), fr.NumCols(), in)
+		}
+		// Round-trip: a frame we accepted must serialize cleanly.
+		var buf bytes.Buffer
+		if err := FrameCSV(&buf, fr); err != nil {
+			t.Fatalf("re-serialization failed: %v", err)
+		}
+	})
+}

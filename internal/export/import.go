@@ -1,0 +1,66 @@
+package export
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"rainshine/internal/frame"
+)
+
+// ReadFrameCSV parses a CSV (as written by FrameCSV, or assembled from
+// an operator's own telemetry) into a frame. Column kinds are inferred:
+// a column whose every value parses as a float becomes continuous,
+// anything else becomes nominal with levels built from the distinct
+// strings. This is the bring-your-own-data entry point: a real failure
+// dataset in this shape can be fed straight into the MF analyses.
+func ReadFrameCSV(r io.Reader) (*frame.Frame, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("export: reading csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, errors.New("export: csv needs a header and at least one row")
+	}
+	header := records[0]
+	rows := records[1:]
+	nCols := len(header)
+	for i, rec := range rows {
+		if len(rec) != nCols {
+			return nil, fmt.Errorf("export: row %d has %d fields, header has %d", i+1, len(rec), nCols)
+		}
+	}
+	f := frame.New(len(rows))
+	for c, name := range header {
+		if name == "" {
+			return nil, fmt.Errorf("export: empty column name at position %d", c)
+		}
+		values := make([]string, len(rows))
+		numeric := true
+		floats := make([]float64, len(rows))
+		for r, rec := range rows {
+			values[r] = rec[c]
+			if numeric {
+				v, err := strconv.ParseFloat(rec[c], 64)
+				if err != nil {
+					numeric = false
+				} else {
+					floats[r] = v
+				}
+			}
+		}
+		if numeric {
+			if err := f.AddContinuous(name, floats); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := f.AddNominalStrings(name, values); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}

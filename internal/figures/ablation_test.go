@@ -1,0 +1,136 @@
+package figures
+
+import "testing"
+
+func TestAblationFeatures(t *testing.T) {
+	d := testData(t)
+	rows, err := d.AblationFeatures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byConfig := map[string]map[string]AblationRow{}
+	for _, r := range rows {
+		if byConfig[r.Workload] == nil {
+			byConfig[r.Workload] = map[string]AblationRow{}
+		}
+		byConfig[r.Workload][r.Config] = r
+		if r.OverprovPct < 0 || r.OverprovPct > 100 {
+			t.Errorf("overprov = %v", r.OverprovPct)
+		}
+		if r.GapClosedPct < 0 || r.GapClosedPct > 100 {
+			t.Errorf("gap closed = %v", r.GapClosedPct)
+		}
+		if r.Clusters < 1 {
+			t.Errorf("clusters = %d", r.Clusters)
+		}
+	}
+	// The design claim: all factors jointly close at least as much of
+	// the SF-LB gap as the best single family, for each workload.
+	for wl, cfgs := range byConfig {
+		all := cfgs["features=all-factors"]
+		for name, r := range cfgs {
+			if name == "features=all-factors" {
+				continue
+			}
+			if all.GapClosedPct < r.GapClosedPct-10 {
+				t.Errorf("%s: all-factors closes %.1f%% but %s closes %.1f%%",
+					wl, all.GapClosedPct, name, r.GapClosedPct)
+			}
+		}
+	}
+}
+
+func TestAblationClusterBudget(t *testing.T) {
+	d := testData(t)
+	rows, err := d.AblationClusterBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More cluster budget can only help (weakly): overprov must be
+	// non-increasing in the cap, per workload.
+	byWL := map[string][]AblationRow{}
+	for _, r := range rows {
+		byWL[r.Workload] = append(byWL[r.Workload], r)
+	}
+	for wl, series := range byWL {
+		for i := 1; i < len(series); i++ {
+			if series[i].OverprovPct > series[i-1].OverprovPct+1e-9 {
+				t.Errorf("%s: overprov rose with cluster budget: %v -> %v",
+					wl, series[i-1], series[i])
+			}
+		}
+	}
+}
+
+func TestGapClosed(t *testing.T) {
+	if got := gapClosed(0.1, 0.1, 0.5); got != 100 {
+		t.Errorf("oracle gap = %v", got)
+	}
+	if got := gapClosed(0.1, 0.5, 0.5); got != 0 {
+		t.Errorf("SF gap = %v", got)
+	}
+	if got := gapClosed(0.1, 0.3, 0.5); got != 50 {
+		t.Errorf("mid gap = %v", got)
+	}
+	if got := gapClosed(0.5, 0.4, 0.5); got != 100 {
+		t.Errorf("degenerate gap = %v", got)
+	}
+	if got := gapClosed(0.1, 0.9, 0.5); got != 0 {
+		t.Errorf("worse-than-SF clamps to 0, got %v", got)
+	}
+}
+
+func TestGranularitySweep(t *testing.T) {
+	d := testData(t)
+	rows, err := d.GranularitySweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The oracle requirement is monotone in window size per workload.
+	byWL := map[string][]GranularityRow{}
+	for _, r := range rows {
+		byWL[r.Workload] = append(byWL[r.Workload], r)
+	}
+	for wl, series := range byWL {
+		for i := 1; i < len(series); i++ {
+			if series[i].LBPct < series[i-1].LBPct-1e-9 {
+				t.Errorf("%s: LB not monotone across granularities: %+v", wl, series)
+			}
+		}
+		for _, r := range series {
+			if !(r.LBPct <= r.MFPct+1e-9 && r.MFPct <= r.SFPct+1e-9) {
+				t.Errorf("%s/%s: sandwich violated: %+v", wl, r.Granularity, r)
+			}
+		}
+	}
+}
+
+func TestAblationAutoCP(t *testing.T) {
+	d := testData(t)
+	rows, err := d.AblationAutoCP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.OverprovPct <= 0 || r.Clusters < 1 {
+			t.Errorf("bad row: %+v", r)
+		}
+		// CV-selected cp should remain competitive: within 25 points of
+		// gap closed versus the hand-tuned fixed cp.
+		if r.Config == "cp=cross-validated" && r.GapClosedPct < 10 {
+			t.Errorf("CV clustering degenerate: %+v", r)
+		}
+	}
+}

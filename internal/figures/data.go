@@ -1,0 +1,49 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation from a simulation run. Each function returns structured
+// rows; the CLI, the benchmarks, and EXPERIMENTS.md all consume the same
+// implementations, so the numbers reported anywhere in this repository
+// come from exactly one code path per experiment.
+package figures
+
+import (
+	"sync"
+
+	"rainshine/internal/frame"
+	"rainshine/internal/metrics"
+	"rainshine/internal/simulate"
+)
+
+// Data wraps a simulation result with lazily computed derived artifacts
+// shared across figures (the rack-day frame is expensive to build).
+type Data struct {
+	Res *simulate.Result
+
+	mu       sync.Mutex
+	rackDays *frame.Frame
+}
+
+// NewData runs a simulation and wraps its result.
+func NewData(cfg simulate.Config) (*Data, error) {
+	res, err := simulate.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Data{Res: res}, nil
+}
+
+// From wraps an existing simulation result.
+func From(res *simulate.Result) *Data { return &Data{Res: res} }
+
+// RackDays returns the (cached) rack-day λ frame.
+func (d *Data) RackDays() (*frame.Frame, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.rackDays == nil {
+		f, err := metrics.RackDayFrame(d.Res)
+		if err != nil {
+			return nil, err
+		}
+		d.rackDays = f
+	}
+	return d.rackDays, nil
+}

@@ -1,0 +1,304 @@
+// Package frame provides a small column-typed data frame: the tabular
+// substrate that CART, partial dependence, and every figure pipeline
+// consume.
+//
+// The paper's feature table (Table III) mixes continuous (temperature,
+// RH, age), nominal (SKU, workload, DC, rack), and ordinal (day, week,
+// month) variables; a Frame carries that type information so the tree
+// learner can treat each kind correctly.
+package frame
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a column the way Table III classifies features.
+type Kind int
+
+const (
+	// Continuous is a numeric feature with meaningful magnitudes
+	// (temperature, RH, age, rated power).
+	Continuous Kind = iota
+	// Nominal is a categorical feature with no implied order (SKU,
+	// workload, DC, rack). Values are stored as level indices.
+	Nominal
+	// Ordinal is a categorical feature with a meaningful order
+	// (day-of-week, month). Values are stored as level indices and
+	// split like numerics on the level order.
+	Ordinal
+)
+
+// String returns the Table III type letter for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Continuous:
+		return "C"
+	case Nominal:
+		return "N"
+	case Ordinal:
+		return "O"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Column is one typed column. For Continuous columns Data holds raw
+// values; for Nominal/Ordinal columns Data holds level indices into
+// Levels.
+type Column struct {
+	Name   string
+	Kind   Kind
+	Data   []float64
+	Levels []string // nil for Continuous
+}
+
+// LevelOf returns the level string for a value of a categorical column.
+func (c *Column) LevelOf(v float64) string {
+	i := int(v)
+	if c.Kind == Continuous || i < 0 || i >= len(c.Levels) {
+		return fmt.Sprintf("%g", v)
+	}
+	return c.Levels[i]
+}
+
+// Frame is a collection of equal-length columns.
+type Frame struct {
+	cols  []Column
+	index map[string]int
+	rows  int
+}
+
+// New creates an empty frame that will hold rows rows.
+func New(rows int) *Frame {
+	return &Frame{index: make(map[string]int), rows: rows}
+}
+
+// NumRows returns the number of rows.
+func (f *Frame) NumRows() int { return f.rows }
+
+// NumCols returns the number of columns.
+func (f *Frame) NumCols() int { return len(f.cols) }
+
+// Names returns the column names in insertion order.
+func (f *Frame) Names() []string {
+	out := make([]string, len(f.cols))
+	for i, c := range f.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// AddContinuous appends a continuous column. The data slice is adopted,
+// not copied.
+func (f *Frame) AddContinuous(name string, data []float64) error {
+	return f.add(Column{Name: name, Kind: Continuous, Data: data})
+}
+
+// AddOrdinalInts appends an ordinal column from integer codes with the
+// given ordered level names.
+func (f *Frame) AddOrdinalInts(name string, codes []int, levels []string) error {
+	return f.addCoded(name, Ordinal, codes, levels)
+}
+
+// AddNominalInts appends a nominal column from integer codes with the
+// given level names.
+func (f *Frame) AddNominalInts(name string, codes []int, levels []string) error {
+	return f.addCoded(name, Nominal, codes, levels)
+}
+
+func (f *Frame) addCoded(name string, kind Kind, codes []int, levels []string) error {
+	data := make([]float64, len(codes))
+	for i, c := range codes {
+		if c < 0 || c >= len(levels) {
+			return fmt.Errorf("frame: column %q code %d out of range [0,%d)", name, c, len(levels))
+		}
+		data[i] = float64(c)
+	}
+	return f.add(Column{Name: name, Kind: kind, Data: data, Levels: append([]string(nil), levels...)})
+}
+
+// AddNominalStrings appends a nominal column from string labels,
+// building the level set from the distinct labels in sorted order.
+func (f *Frame) AddNominalStrings(name string, labels []string) error {
+	set := map[string]bool{}
+	for _, l := range labels {
+		set[l] = true
+	}
+	levels := make([]string, 0, len(set))
+	for l := range set {
+		levels = append(levels, l)
+	}
+	sort.Strings(levels)
+	lookup := make(map[string]int, len(levels))
+	for i, l := range levels {
+		lookup[l] = i
+	}
+	codes := make([]int, len(labels))
+	for i, l := range labels {
+		codes[i] = lookup[l]
+	}
+	return f.addCoded(name, Nominal, codes, levels)
+}
+
+func (f *Frame) add(c Column) error {
+	if c.Name == "" {
+		return errors.New("frame: empty column name")
+	}
+	if _, dup := f.index[c.Name]; dup {
+		return fmt.Errorf("frame: duplicate column %q", c.Name)
+	}
+	if len(c.Data) != f.rows {
+		return fmt.Errorf("frame: column %q has %d rows, frame has %d", c.Name, len(c.Data), f.rows)
+	}
+	f.index[c.Name] = len(f.cols)
+	f.cols = append(f.cols, c)
+	return nil
+}
+
+// Col returns the column with the given name.
+func (f *Frame) Col(name string) (*Column, error) {
+	i, ok := f.index[name]
+	if !ok {
+		return nil, fmt.Errorf("frame: no column %q (have %s)", name, strings.Join(f.Names(), ", "))
+	}
+	return &f.cols[i], nil
+}
+
+// MustCol returns the column or panics; for use in tests and internal
+// pipelines where the column set is statically known.
+func (f *Frame) MustCol(name string) *Column {
+	c, err := f.Col(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ColIndex returns the positional index of the named column.
+func (f *Frame) ColIndex(name string) (int, error) {
+	i, ok := f.index[name]
+	if !ok {
+		return 0, fmt.Errorf("frame: no column %q", name)
+	}
+	return i, nil
+}
+
+// ColAt returns the column at position i.
+func (f *Frame) ColAt(i int) *Column { return &f.cols[i] }
+
+// Select returns a new frame sharing column storage, restricted to the
+// named columns in the given order.
+func (f *Frame) Select(names ...string) (*Frame, error) {
+	out := New(f.rows)
+	for _, n := range names {
+		c, err := f.Col(n)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.add(*c); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Filter returns a new frame containing only rows for which keep returns
+// true. Column storage is copied.
+func (f *Frame) Filter(keep func(row int) bool) *Frame {
+	var rows []int
+	for r := 0; r < f.rows; r++ {
+		if keep(r) {
+			rows = append(rows, r)
+		}
+	}
+	return f.Subset(rows)
+}
+
+// Subset returns a new frame with the given row indices (copying data).
+func (f *Frame) Subset(rows []int) *Frame {
+	out := New(len(rows))
+	for _, c := range f.cols {
+		data := make([]float64, len(rows))
+		for i, r := range rows {
+			data[i] = c.Data[r]
+		}
+		nc := Column{Name: c.Name, Kind: c.Kind, Data: data, Levels: c.Levels}
+		if err := out.add(nc); err != nil {
+			// Unreachable: source frame invariants guarantee validity.
+			panic(err)
+		}
+	}
+	return out
+}
+
+// Value returns the raw float value at (row, col-name).
+func (f *Frame) Value(row int, name string) (float64, error) {
+	c, err := f.Col(name)
+	if err != nil {
+		return 0, err
+	}
+	if row < 0 || row >= f.rows {
+		return 0, fmt.Errorf("frame: row %d out of range [0,%d)", row, f.rows)
+	}
+	return c.Data[row], nil
+}
+
+// GroupMeans computes the mean of the value column within each level of
+// a categorical key column. Returned slices are indexed by level.
+// Levels with no rows get NaN means and zero counts.
+func (f *Frame) GroupMeans(key, value string) (levels []string, means []float64, counts []int, err error) {
+	kc, err := f.Col(key)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if kc.Kind == Continuous {
+		return nil, nil, nil, fmt.Errorf("frame: GroupMeans key %q must be categorical", key)
+	}
+	vc, err := f.Col(value)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	n := len(kc.Levels)
+	sums := make([]float64, n)
+	counts = make([]int, n)
+	for r := 0; r < f.rows; r++ {
+		i := int(kc.Data[r])
+		sums[i] += vc.Data[r]
+		counts[i]++
+	}
+	means = make([]float64, n)
+	for i := range means {
+		if counts[i] == 0 {
+			means[i] = math.NaN()
+			continue
+		}
+		means[i] = sums[i] / float64(counts[i])
+	}
+	return kc.Levels, means, counts, nil
+}
+
+// GroupValues collects the value column's entries per level of a
+// categorical key column.
+func (f *Frame) GroupValues(key, value string) (levels []string, groups [][]float64, err error) {
+	kc, err := f.Col(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	if kc.Kind == Continuous {
+		return nil, nil, fmt.Errorf("frame: GroupValues key %q must be categorical", key)
+	}
+	vc, err := f.Col(value)
+	if err != nil {
+		return nil, nil, err
+	}
+	groups = make([][]float64, len(kc.Levels))
+	for r := 0; r < f.rows; r++ {
+		i := int(kc.Data[r])
+		groups[i] = append(groups[i], vc.Data[r])
+	}
+	return kc.Levels, groups, nil
+}

@@ -1,0 +1,238 @@
+package frame
+
+import (
+	"math"
+	"testing"
+)
+
+func buildTestFrame(t *testing.T) *Frame {
+	t.Helper()
+	f := New(4)
+	if err := f.AddContinuous("temp", []float64{60, 70, 80, 90}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddNominalInts("sku", []int{0, 1, 0, 1}, []string{"S1", "S2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddOrdinalInts("dow", []int{0, 1, 2, 3}, []string{"Sun", "Mon", "Tue", "Wed"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddContinuous("rate", []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFrameShape(t *testing.T) {
+	f := buildTestFrame(t)
+	if f.NumRows() != 4 || f.NumCols() != 4 {
+		t.Fatalf("shape = %dx%d", f.NumRows(), f.NumCols())
+	}
+	names := f.Names()
+	want := []string{"temp", "sku", "dow", "rate"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v", names)
+		}
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	f := New(2)
+	if err := f.AddContinuous("", []float64{1, 2}); err == nil {
+		t.Error("empty name should error")
+	}
+	if err := f.AddContinuous("x", []float64{1}); err == nil {
+		t.Error("wrong length should error")
+	}
+	if err := f.AddContinuous("x", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddContinuous("x", []float64{3, 4}); err == nil {
+		t.Error("duplicate name should error")
+	}
+	if err := f.AddNominalInts("bad", []int{0, 5}, []string{"a"}); err == nil {
+		t.Error("out-of-range code should error")
+	}
+}
+
+func TestColLookup(t *testing.T) {
+	f := buildTestFrame(t)
+	c, err := f.Col("sku")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != Nominal || c.LevelOf(1) != "S2" {
+		t.Errorf("col = %+v", c)
+	}
+	if _, err := f.Col("nope"); err == nil {
+		t.Error("missing column should error")
+	}
+	i, err := f.ColIndex("dow")
+	if err != nil || i != 2 {
+		t.Errorf("ColIndex = %d, %v", i, err)
+	}
+	if _, err := f.ColIndex("nope"); err == nil {
+		t.Error("missing index should error")
+	}
+	if f.ColAt(0).Name != "temp" {
+		t.Error("ColAt(0) wrong")
+	}
+}
+
+func TestMustColPanics(t *testing.T) {
+	f := buildTestFrame(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCol should panic on missing column")
+		}
+	}()
+	f.MustCol("nope")
+}
+
+func TestLevelOfOutOfRange(t *testing.T) {
+	f := buildTestFrame(t)
+	c := f.MustCol("sku")
+	if got := c.LevelOf(99); got != "99" {
+		t.Errorf("LevelOf(99) = %q", got)
+	}
+	cont := f.MustCol("temp")
+	if got := cont.LevelOf(60); got != "60" {
+		t.Errorf("continuous LevelOf = %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Continuous.String() != "C" || Nominal.String() != "N" || Ordinal.String() != "O" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Errorf("unknown kind = %q", Kind(9).String())
+	}
+}
+
+func TestSelect(t *testing.T) {
+	f := buildTestFrame(t)
+	sub, err := f.Select("rate", "sku")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumCols() != 2 || sub.Names()[0] != "rate" {
+		t.Errorf("Select = %v", sub.Names())
+	}
+	if _, err := f.Select("nope"); err == nil {
+		t.Error("Select missing should error")
+	}
+}
+
+func TestFilterAndSubset(t *testing.T) {
+	f := buildTestFrame(t)
+	hot := f.Filter(func(r int) bool {
+		v, _ := f.Value(r, "temp")
+		return v >= 75
+	})
+	if hot.NumRows() != 2 {
+		t.Fatalf("Filter rows = %d", hot.NumRows())
+	}
+	v, _ := hot.Value(0, "rate")
+	if v != 3 {
+		t.Errorf("filtered value = %v", v)
+	}
+	// Subset copies: mutating the subset must not touch the parent.
+	hot.MustCol("rate").Data[0] = 99
+	orig, _ := f.Value(2, "rate")
+	if orig != 3 {
+		t.Error("Subset aliased parent storage")
+	}
+}
+
+func TestValueErrors(t *testing.T) {
+	f := buildTestFrame(t)
+	if _, err := f.Value(0, "nope"); err == nil {
+		t.Error("missing column should error")
+	}
+	if _, err := f.Value(-1, "temp"); err == nil {
+		t.Error("negative row should error")
+	}
+	if _, err := f.Value(4, "temp"); err == nil {
+		t.Error("row past end should error")
+	}
+}
+
+func TestAddNominalStrings(t *testing.T) {
+	f := New(4)
+	if err := f.AddNominalStrings("dc", []string{"DC2", "DC1", "DC2", "DC1"}); err != nil {
+		t.Fatal(err)
+	}
+	c := f.MustCol("dc")
+	if len(c.Levels) != 2 || c.Levels[0] != "DC1" || c.Levels[1] != "DC2" {
+		t.Fatalf("levels = %v", c.Levels)
+	}
+	if c.Data[0] != 1 || c.Data[1] != 0 {
+		t.Fatalf("codes = %v", c.Data)
+	}
+}
+
+func TestGroupMeans(t *testing.T) {
+	f := buildTestFrame(t)
+	levels, means, counts, err := f.GroupMeans("sku", "rate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[0] != "S1" || means[0] != 2 || counts[0] != 2 {
+		t.Errorf("S1 group = %v, %v", means[0], counts[0])
+	}
+	if means[1] != 3 || counts[1] != 2 {
+		t.Errorf("S2 group = %v, %v", means[1], counts[1])
+	}
+}
+
+func TestGroupMeansEmptyLevel(t *testing.T) {
+	f := New(2)
+	if err := f.AddNominalInts("k", []int{0, 0}, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddContinuous("v", []float64{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	_, means, counts, err := f.GroupMeans("k", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[1] != 0 || !math.IsNaN(means[1]) {
+		t.Errorf("empty level = %v, %d", means[1], counts[1])
+	}
+}
+
+func TestGroupMeansErrors(t *testing.T) {
+	f := buildTestFrame(t)
+	if _, _, _, err := f.GroupMeans("temp", "rate"); err == nil {
+		t.Error("continuous key should error")
+	}
+	if _, _, _, err := f.GroupMeans("nope", "rate"); err == nil {
+		t.Error("missing key should error")
+	}
+	if _, _, _, err := f.GroupMeans("sku", "nope"); err == nil {
+		t.Error("missing value should error")
+	}
+}
+
+func TestGroupValues(t *testing.T) {
+	f := buildTestFrame(t)
+	levels, groups, err := f.GroupValues("sku", "rate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 2 || len(groups[0]) != 2 || groups[0][0] != 1 || groups[0][1] != 3 {
+		t.Errorf("groups = %v", groups)
+	}
+	if _, _, err := f.GroupValues("temp", "rate"); err == nil {
+		t.Error("continuous key should error")
+	}
+	if _, _, err := f.GroupValues("nope", "rate"); err == nil {
+		t.Error("missing key should error")
+	}
+	if _, _, err := f.GroupValues("sku", "nope"); err == nil {
+		t.Error("missing value should error")
+	}
+}

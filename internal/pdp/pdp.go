@@ -1,0 +1,384 @@
+// Package pdp implements the paper's Cat.-2 machinery: quantifying the
+// influence of one decision variable on a failure metric while
+// "normalizing the effect of all observed parameters other than the
+// parameter of interest" (Section V-C).
+//
+// Two estimators are provided:
+//
+//   - Partial dependence (Hastie et al.): for each candidate value v of
+//     the variable of interest X1, set X1 = v for every training row and
+//     average the tree's predictions. Marginalizes over the empirical
+//     joint of the other factors.
+//
+//   - Direct standardization: stratify the data by the observed
+//     combinations of the other factors, compute the per-stratum mean of
+//     the metric for each X1 level, and average strata with fixed
+//     (X1-independent) weights. This needs no model and is the classical
+//     epidemiological adjustment; it is what Fig 15's "MF approach"
+//     amounts to.
+package pdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rainshine/internal/cart"
+	"rainshine/internal/frame"
+	"rainshine/internal/stats"
+)
+
+// Point is one (value, effect) pair of a partial dependence curve.
+type Point struct {
+	// Value is the probed value of the variable of interest; for
+	// categorical variables it is the level index and Label names it.
+	Value float64
+	Label string
+	// Effect is the marginalized model response at Value.
+	Effect float64
+}
+
+// Compute evaluates the partial dependence of tree's response on the
+// named feature over frame f. For a continuous feature the curve is
+// evaluated at up to gridSize quantile-spaced points; for categorical
+// features at every level.
+func Compute(tree *cart.Tree, f *frame.Frame, feature string, gridSize int) ([]Point, error) {
+	if gridSize <= 0 {
+		gridSize = 20
+	}
+	fi := -1
+	for i, feat := range tree.Features {
+		if feat.Name == feature {
+			fi = i
+			break
+		}
+	}
+	if fi < 0 {
+		return nil, fmt.Errorf("pdp: tree has no feature %q", feature)
+	}
+	feat := tree.Features[fi]
+	col, err := f.Col(feature)
+	if err != nil {
+		return nil, err
+	}
+	var grid []Point
+	if feat.Kind == frame.Nominal || feat.Kind == frame.Ordinal {
+		for li, lvl := range feat.Levels {
+			grid = append(grid, Point{Value: float64(li), Label: lvl})
+		}
+	} else {
+		grid = continuousGrid(col.Data, gridSize)
+	}
+	// Materialize the feature matrix once.
+	cols := make([][]float64, len(tree.Features))
+	for i, tf := range tree.Features {
+		c, err := f.Col(tf.Name)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c.Data
+	}
+	x := make([]float64, len(cols))
+	for gi := range grid {
+		sum := 0.0
+		for r := 0; r < f.NumRows(); r++ {
+			for i, c := range cols {
+				x[i] = c[r]
+			}
+			x[fi] = grid[gi].Value
+			p, err := tree.Predict(x)
+			if err != nil {
+				return nil, err
+			}
+			sum += p
+		}
+		grid[gi].Effect = sum / float64(f.NumRows())
+	}
+	return grid, nil
+}
+
+// continuousGrid returns quantile-spaced probe points over data.
+func continuousGrid(data []float64, gridSize int) []Point {
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	var pts []Point
+	seen := map[float64]bool{}
+	for i := 0; i < gridSize; i++ {
+		p := float64(i) / float64(gridSize-1)
+		k := int(p * float64(len(sorted)-1))
+		v := sorted[k]
+		if !seen[v] {
+			seen[v] = true
+			pts = append(pts, Point{Value: v})
+		}
+	}
+	return pts
+}
+
+// LevelEffect summarizes the adjusted metric for one level of the
+// variable of interest.
+type LevelEffect struct {
+	Level string
+	// Mean is the standardized (confounder-adjusted) mean metric.
+	Mean float64
+	// StdDev is the spread of the per-stratum level means: the error-bar
+	// analogue of Fig 15.
+	StdDev float64
+	// Peak is the standardized high quantile (95th) of the metric,
+	// the paper's mu_max spare-capacity proxy.
+	Peak float64
+	// Strata counts how many covariate strata contained this level.
+	Strata int
+	// N is the number of underlying observations.
+	N int
+}
+
+// Standardize computes direct-standardized effects of the categorical
+// variable `of` on `metric`, adjusting for the categorical covariates.
+// Continuous covariates must be pre-binned into categorical columns
+// (see frame helpers); this mirrors the paper's
+// "Metric ~ X1, N(X2), ..., N(Xn)" notation.
+//
+// Only strata containing at least two distinct levels of `of` inform the
+// contrast; weighting across strata is by total stratum size, which is
+// shared by all levels — so the confounders' composition no longer
+// differs between levels.
+func Standardize(f *frame.Frame, metric, of string, covariates []string) ([]LevelEffect, error) {
+	oc, err := f.Col(of)
+	if err != nil {
+		return nil, err
+	}
+	if oc.Kind == frame.Continuous {
+		return nil, fmt.Errorf("pdp: variable of interest %q must be categorical", of)
+	}
+	mc, err := f.Col(metric)
+	if err != nil {
+		return nil, err
+	}
+	if len(covariates) == 0 {
+		return nil, errors.New("pdp: need at least one covariate to standardize over")
+	}
+	covCols := make([]*frame.Column, len(covariates))
+	for i, name := range covariates {
+		c, err := f.Col(name)
+		if err != nil {
+			return nil, err
+		}
+		if c.Kind == frame.Continuous {
+			return nil, fmt.Errorf("pdp: covariate %q is continuous; bin it first", name)
+		}
+		covCols[i] = c
+	}
+
+	// Stratum key = joint covariate levels.
+	type cell struct {
+		values map[int][]float64 // level of `of` -> metric values
+		n      int
+	}
+	strata := map[string]*cell{}
+	keyBuf := make([]byte, 0, 32)
+	for r := 0; r < f.NumRows(); r++ {
+		keyBuf = keyBuf[:0]
+		for _, c := range covCols {
+			v := int(c.Data[r])
+			keyBuf = append(keyBuf, byte(v), byte(v>>8), '|')
+		}
+		k := string(keyBuf)
+		s := strata[k]
+		if s == nil {
+			s = &cell{values: map[int][]float64{}}
+			strata[k] = s
+		}
+		lvl := int(oc.Data[r])
+		s.values[lvl] = append(s.values[lvl], mc.Data[r])
+		s.n++
+	}
+
+	nLevels := len(oc.Levels)
+	// Accumulate stratum-weighted means and per-stratum level means.
+	wSum := make([]float64, nLevels)
+	wTot := make([]float64, nLevels)
+	perStratumMeans := make([][]float64, nLevels)
+	perStratumPeaks := make([][]float64, nLevels)
+	nobs := make([]int, nLevels)
+	strataCount := make([]int, nLevels)
+	for _, s := range strata {
+		if len(s.values) < 2 {
+			// Stratum observes only one level: it cannot inform a
+			// within-stratum contrast, so it is dropped (the paper's
+			// tree path likewise conditions on contexts where the
+			// decision variable actually varies).
+			continue
+		}
+		w := float64(s.n)
+		for lvl, vals := range s.values {
+			m := stats.Mean(vals)
+			wSum[lvl] += w * m
+			wTot[lvl] += w
+			perStratumMeans[lvl] = append(perStratumMeans[lvl], m)
+			pk, err := stats.Quantile(vals, 0.95)
+			if err != nil {
+				return nil, err
+			}
+			perStratumPeaks[lvl] = append(perStratumPeaks[lvl], pk)
+			nobs[lvl] += len(vals)
+			strataCount[lvl]++
+		}
+	}
+	out := make([]LevelEffect, 0, nLevels)
+	for lvl := 0; lvl < nLevels; lvl++ {
+		if wTot[lvl] == 0 {
+			continue
+		}
+		peak := 0.0
+		if len(perStratumPeaks[lvl]) > 0 {
+			// Standardized peak: weighted mean of per-stratum peaks.
+			peak = stats.Mean(perStratumPeaks[lvl])
+		}
+		out = append(out, LevelEffect{
+			Level:  oc.Levels[lvl],
+			Mean:   wSum[lvl] / wTot[lvl],
+			StdDev: stats.StdDev(perStratumMeans[lvl]),
+			Peak:   peak,
+			Strata: strataCount[lvl],
+			N:      nobs[lvl],
+		})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("pdp: no stratum contains two levels of the variable of interest; cannot adjust")
+	}
+	return out, nil
+}
+
+// PairedContrast returns the per-stratum mean differences of metric
+// between two levels of the categorical variable `of`, over strata
+// defined by the joint covariate levels. Only strata observing both
+// levels contribute one difference each — the paired sample on which a
+// significance test quantifies "the influence of this parameter after
+// normalization" (Section V-C).
+func PairedContrast(f *frame.Frame, metric, of, levelA, levelB string, covariates []string) ([]float64, error) {
+	oc, err := f.Col(of)
+	if err != nil {
+		return nil, err
+	}
+	if oc.Kind == frame.Continuous {
+		return nil, fmt.Errorf("pdp: variable of interest %q must be categorical", of)
+	}
+	idxA, idxB := -1, -1
+	for i, lvl := range oc.Levels {
+		switch lvl {
+		case levelA:
+			idxA = i
+		case levelB:
+			idxB = i
+		}
+	}
+	if idxA < 0 || idxB < 0 {
+		return nil, fmt.Errorf("pdp: levels %q/%q not found in %q", levelA, levelB, of)
+	}
+	mc, err := f.Col(metric)
+	if err != nil {
+		return nil, err
+	}
+	if len(covariates) == 0 {
+		return nil, errors.New("pdp: need at least one covariate to stratify")
+	}
+	covCols := make([]*frame.Column, len(covariates))
+	for i, name := range covariates {
+		c, err := f.Col(name)
+		if err != nil {
+			return nil, err
+		}
+		if c.Kind == frame.Continuous {
+			return nil, fmt.Errorf("pdp: covariate %q is continuous; bin it first", name)
+		}
+		covCols[i] = c
+	}
+	type cell struct {
+		sumA, sumB float64
+		nA, nB     int
+	}
+	strata := map[string]*cell{}
+	keyBuf := make([]byte, 0, 32)
+	for r := 0; r < f.NumRows(); r++ {
+		lvl := int(oc.Data[r])
+		if lvl != idxA && lvl != idxB {
+			continue
+		}
+		keyBuf = keyBuf[:0]
+		for _, c := range covCols {
+			v := int(c.Data[r])
+			keyBuf = append(keyBuf, byte(v), byte(v>>8), '|')
+		}
+		k := string(keyBuf)
+		s := strata[k]
+		if s == nil {
+			s = &cell{}
+			strata[k] = s
+		}
+		if lvl == idxA {
+			s.sumA += mc.Data[r]
+			s.nA++
+		} else {
+			s.sumB += mc.Data[r]
+			s.nB++
+		}
+	}
+	var diffs []float64
+	for _, s := range strata {
+		if s.nA == 0 || s.nB == 0 {
+			continue
+		}
+		diffs = append(diffs, s.sumA/float64(s.nA)-s.sumB/float64(s.nB))
+	}
+	if len(diffs) == 0 {
+		return nil, errors.New("pdp: no stratum observes both levels")
+	}
+	return diffs, nil
+}
+
+// BinContinuous adds a categorical companion column binning a continuous
+// column at the given edges, labelled "lo-hi". The new column is named
+// name+"_bin". Returns the new column's name.
+func BinContinuous(f *frame.Frame, name string, edges []float64) (string, error) {
+	c, err := f.Col(name)
+	if err != nil {
+		return "", err
+	}
+	if c.Kind != frame.Continuous {
+		return "", fmt.Errorf("pdp: column %q is not continuous", name)
+	}
+	if len(edges) < 2 {
+		return "", errors.New("pdp: need at least two edges")
+	}
+	labels := make([]string, len(edges)-1)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%g-%g", edges[i], edges[i+1])
+	}
+	codes := make([]int, f.NumRows())
+	for r, v := range c.Data {
+		codes[r] = binIndex(edges, v)
+	}
+	binName := name + "_bin"
+	if err := f.AddNominalInts(binName, codes, labels); err != nil {
+		return "", err
+	}
+	return binName, nil
+}
+
+func binIndex(edges []float64, x float64) int {
+	n := len(edges) - 1
+	if math.IsNaN(x) || x < edges[0] {
+		return 0
+	}
+	for i := 1; i < n; i++ {
+		if x < edges[i] {
+			return i - 1
+		}
+	}
+	if x < edges[n] {
+		return n - 1
+	}
+	return n - 1
+}

@@ -1,0 +1,305 @@
+package pdp
+
+import (
+	"math"
+	"testing"
+
+	"rainshine/internal/cart"
+	"rainshine/internal/frame"
+	"rainshine/internal/rng"
+)
+
+// confoundedFrame builds the canonical Q2 situation: two SKUs where the
+// true effect is 2x but SKU "bad" is also placed in the hot DC, which
+// doubles rates again, so the naive contrast looks like ~4x.
+func confoundedFrame(t *testing.T, n int) *frame.Frame {
+	t.Helper()
+	src := rng.New(9)
+	sku := make([]int, n)
+	dc := make([]int, n)
+	y := make([]float64, n)
+	for i := range y {
+		sku[i] = src.IntN(2)
+		// SKU 1 ("bad") lands in DC 1 ("hot") 90% of the time;
+		// SKU 0 lands there only 10% of the time.
+		p := 0.1
+		if sku[i] == 1 {
+			p = 0.9
+		}
+		if src.Float64() < p {
+			dc[i] = 1
+		}
+		rate := 1.0
+		if sku[i] == 1 {
+			rate *= 2 // true SKU effect
+		}
+		if dc[i] == 1 {
+			rate *= 2 // confounder effect
+		}
+		y[i] = rate + src.NormFloat64()*0.05
+	}
+	f := frame.New(n)
+	if err := f.AddNominalInts("sku", sku, []string{"good", "bad"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddNominalInts("dc", dc, []string{"cool", "hot"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddContinuous("y", y); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestStandardizeRemovesConfounding(t *testing.T) {
+	f := confoundedFrame(t, 4000)
+	// Naive contrast is inflated.
+	_, naive, _, err := f.GroupMeans("sku", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveRatio := naive[1] / naive[0]
+	if naiveRatio < 3 {
+		t.Fatalf("test setup broken: naive ratio = %v, want >3", naiveRatio)
+	}
+	effects, err := Standardize(f, "y", "sku", []string{"dc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(effects) != 2 {
+		t.Fatalf("effects = %+v", effects)
+	}
+	byLevel := map[string]LevelEffect{}
+	for _, e := range effects {
+		byLevel[e.Level] = e
+	}
+	adjRatio := byLevel["bad"].Mean / byLevel["good"].Mean
+	if math.Abs(adjRatio-2) > 0.2 {
+		t.Errorf("adjusted ratio = %v, want ~2 (naive was %v)", adjRatio, naiveRatio)
+	}
+	if byLevel["bad"].N == 0 || byLevel["bad"].Strata == 0 {
+		t.Errorf("bookkeeping: %+v", byLevel["bad"])
+	}
+}
+
+func TestStandardizeErrors(t *testing.T) {
+	f := confoundedFrame(t, 100)
+	if _, err := Standardize(f, "y", "y", []string{"dc"}); err == nil {
+		t.Error("continuous variable of interest should error")
+	}
+	if _, err := Standardize(f, "y", "sku", nil); err == nil {
+		t.Error("no covariates should error")
+	}
+	if _, err := Standardize(f, "y", "sku", []string{"y"}); err == nil {
+		t.Error("continuous covariate should error")
+	}
+	if _, err := Standardize(f, "nope", "sku", []string{"dc"}); err == nil {
+		t.Error("missing metric should error")
+	}
+	if _, err := Standardize(f, "y", "nope", []string{"dc"}); err == nil {
+		t.Error("missing variable should error")
+	}
+	if _, err := Standardize(f, "y", "sku", []string{"nope"}); err == nil {
+		t.Error("missing covariate should error")
+	}
+}
+
+func TestStandardizeNoOverlap(t *testing.T) {
+	// Perfect confounding: sku==dc exactly; no stratum has both levels.
+	n := 100
+	sku := make([]int, n)
+	dc := make([]int, n)
+	y := make([]float64, n)
+	for i := range sku {
+		sku[i] = i % 2
+		dc[i] = i % 2
+		y[i] = float64(i % 2)
+	}
+	f := frame.New(n)
+	if err := f.AddNominalInts("sku", sku, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddNominalInts("dc", dc, []string{"c", "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddContinuous("y", y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Standardize(f, "y", "sku", []string{"dc"}); err == nil {
+		t.Error("perfectly confounded data should error, not silently return naive answer")
+	}
+}
+
+func TestComputePDPOnTree(t *testing.T) {
+	f := confoundedFrame(t, 4000)
+	tree, err := cart.Fit(f, "y", []string{"sku", "dc"}, cart.Config{Task: cart.Regression, MaxDepth: 3, CP: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := Compute(tree, f, "sku", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %+v", pts)
+	}
+	var good, bad float64
+	for _, p := range pts {
+		switch p.Label {
+		case "good":
+			good = p.Effect
+		case "bad":
+			bad = p.Effect
+		}
+	}
+	// PDP marginalizes over the empirical DC distribution, so the ratio
+	// should approach the true 2x, far from the naive ~3.3x.
+	ratio := bad / good
+	if ratio < 1.6 || ratio > 2.6 {
+		t.Errorf("PDP ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestComputePDPContinuousGrid(t *testing.T) {
+	n := 1000
+	src := rng.New(4)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = src.Float64() * 100
+		if x[i] > 50 {
+			y[i] = 1
+		}
+	}
+	f := frame.New(n)
+	if err := f.AddContinuous("x", x); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddContinuous("y", y); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := cart.Fit(f, "y", []string{"x"}, cart.Config{Task: cart.Regression, MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := Compute(tree, f, "x", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 5 || len(pts) > 11 {
+		t.Fatalf("grid size = %d", len(pts))
+	}
+	// Effect must be (weakly) increasing for this monotone relationship.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Effect < pts[i-1].Effect-1e-9 {
+			t.Errorf("PDP not monotone at %d: %v -> %v", i, pts[i-1].Effect, pts[i].Effect)
+		}
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	f := confoundedFrame(t, 200)
+	tree, err := cart.Fit(f, "y", []string{"sku"}, cart.Config{Task: cart.Regression})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compute(tree, f, "dc", 0); err == nil {
+		t.Error("feature not in tree should error")
+	}
+	if _, err := Compute(tree, frame.New(0), "sku", 0); err == nil {
+		t.Error("frame without columns should error")
+	}
+}
+
+func TestBinContinuous(t *testing.T) {
+	f := frame.New(5)
+	if err := f.AddContinuous("t", []float64{55, 61, 66, 71, 80}); err != nil {
+		t.Fatal(err)
+	}
+	name, err := BinContinuous(f, "t", []float64{60, 65, 70, 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "t_bin" {
+		t.Errorf("name = %q", name)
+	}
+	c := f.MustCol("t_bin")
+	// 55 clamps into first bin; 80 clamps into last.
+	want := []float64{0, 0, 1, 2, 2}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Errorf("bin[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+	if c.Levels[0] != "60-65" {
+		t.Errorf("labels = %v", c.Levels)
+	}
+}
+
+func TestBinContinuousErrors(t *testing.T) {
+	f := frame.New(2)
+	if err := f.AddNominalInts("k", []int{0, 1}, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BinContinuous(f, "k", []float64{0, 1}); err == nil {
+		t.Error("categorical input should error")
+	}
+	if _, err := BinContinuous(f, "nope", []float64{0, 1}); err == nil {
+		t.Error("missing column should error")
+	}
+	if err := f.AddContinuous("x", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BinContinuous(f, "x", []float64{0}); err == nil {
+		t.Error("single edge should error")
+	}
+}
+
+func TestBinIndexNaN(t *testing.T) {
+	if got := binIndex([]float64{0, 1, 2}, math.NaN()); got != 0 {
+		t.Errorf("NaN bin = %d", got)
+	}
+}
+
+func TestPairedContrast(t *testing.T) {
+	f := confoundedFrame(t, 3000)
+	diffs, err := PairedContrast(f, "y", "sku", "bad", "good", []string{"dc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two DC strata, both observing both SKUs.
+	if len(diffs) != 2 {
+		t.Fatalf("diffs = %v", diffs)
+	}
+	// Within each stratum the true SKU effect is +1 (cool) or +2 (hot).
+	for _, d := range diffs {
+		if d < 0.5 || d > 2.5 {
+			t.Errorf("stratum diff %v outside the true effect range", d)
+		}
+	}
+}
+
+func TestPairedContrastErrors(t *testing.T) {
+	f := confoundedFrame(t, 200)
+	if _, err := PairedContrast(f, "y", "y", "a", "b", []string{"dc"}); err == nil {
+		t.Error("continuous variable should error")
+	}
+	if _, err := PairedContrast(f, "y", "sku", "nope", "good", []string{"dc"}); err == nil {
+		t.Error("unknown level should error")
+	}
+	if _, err := PairedContrast(f, "y", "sku", "bad", "good", nil); err == nil {
+		t.Error("no covariates should error")
+	}
+	if _, err := PairedContrast(f, "y", "sku", "bad", "good", []string{"y"}); err == nil {
+		t.Error("continuous covariate should error")
+	}
+	if _, err := PairedContrast(f, "nope", "sku", "bad", "good", []string{"dc"}); err == nil {
+		t.Error("missing metric should error")
+	}
+	if _, err := PairedContrast(f, "y", "nope", "bad", "good", []string{"dc"}); err == nil {
+		t.Error("missing variable should error")
+	}
+	if _, err := PairedContrast(f, "y", "sku", "bad", "good", []string{"nope"}); err == nil {
+		t.Error("missing covariate should error")
+	}
+}

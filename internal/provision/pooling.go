@@ -1,0 +1,94 @@
+package provision
+
+import (
+	"fmt"
+
+	"rainshine/internal/metrics"
+	"rainshine/internal/simulate"
+	"rainshine/internal/topology"
+)
+
+// PoolScope is the sharing granularity of a spare pool.
+type PoolScope int
+
+// Pooling scopes, finest to coarsest. The paper's Section II asks
+// whether spares should be kept per application class or shared; these
+// scopes quantify the multiplexing gain at each level of sharing,
+// against the rack-locality cost the paper notes (relocating VMs off
+// rack incurs communication penalties).
+const (
+	PerRack PoolScope = iota
+	PerWorkloadDC
+	PerDC
+	Global
+)
+
+// String names the scope.
+func (s PoolScope) String() string {
+	switch s {
+	case PerRack:
+		return "per-rack"
+	case PerWorkloadDC:
+		return "per-workload-per-DC"
+	case PerDC:
+		return "per-DC"
+	case Global:
+		return "global"
+	default:
+		return fmt.Sprintf("PoolScope(%d)", int(s))
+	}
+}
+
+// PoolRequirement is one scope's spare need at 100% availability.
+type PoolRequirement struct {
+	Scope PoolScope
+	// Pools is the number of separate pools at this scope.
+	Pools int
+	// Spares is the total spare servers needed across all pools (each
+	// pool covers its own joint worst window).
+	Spares int
+	// Pct is Spares as a percentage of fleet servers.
+	Pct float64
+}
+
+// AnalyzePooling computes the oracle spare requirement at each pooling
+// scope for the whole fleet at the given granularity. Requirements are
+// monotone: coarser pools multiplex more failures onto the same spares.
+func AnalyzePooling(res *simulate.Result, g metrics.Granularity) ([]PoolRequirement, error) {
+	fleet := res.Fleet
+	totalServers := fleet.TotalServers()
+	scopes := []struct {
+		scope   PoolScope
+		nGroups int
+		groupOf func(rack int) int
+	}{
+		{PerRack, len(fleet.Racks), func(r int) int { return r }},
+		{PerWorkloadDC, len(fleet.DCs) * int(topology.NumWorkloads), func(r int) int {
+			rk := &fleet.Racks[r]
+			return rk.DC*int(topology.NumWorkloads) + int(rk.Workload)
+		}},
+		{PerDC, len(fleet.DCs), func(r int) int { return fleet.Racks[r].DC }},
+		{Global, 1, func(r int) int { return 0 }},
+	}
+	var out []PoolRequirement
+	for _, sc := range scopes {
+		dists, err := metrics.GroupMuDistributions(res, AllComponents, g, sc.groupOf, sc.nGroups)
+		if err != nil {
+			return nil, fmt.Errorf("provision: pooling at %v: %w", sc.scope, err)
+		}
+		spares, pools := 0, 0
+		for _, d := range dists {
+			if d.Max() > 0 {
+				pools++
+			}
+			spares += d.Max()
+		}
+		out = append(out, PoolRequirement{
+			Scope:  sc.scope,
+			Pools:  pools,
+			Spares: spares,
+			Pct:    100 * float64(spares) / float64(totalServers),
+		})
+	}
+	return out, nil
+}

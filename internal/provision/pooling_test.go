@@ -1,0 +1,93 @@
+package provision
+
+import (
+	"testing"
+
+	"rainshine/internal/metrics"
+)
+
+func TestPoolScopeString(t *testing.T) {
+	want := map[PoolScope]string{
+		PerRack: "per-rack", PerWorkloadDC: "per-workload-per-DC",
+		PerDC: "per-DC", Global: "global",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+	if PoolScope(9).String() != "PoolScope(9)" {
+		t.Error("unknown scope string")
+	}
+}
+
+func TestAnalyzePoolingMonotone(t *testing.T) {
+	res := testResult(t)
+	for _, g := range []metrics.Granularity{metrics.Daily, metrics.Hourly} {
+		reqs, err := AnalyzePooling(res, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reqs) != 4 {
+			t.Fatalf("scopes = %d", len(reqs))
+		}
+		// Sharing can only reduce total spares: each coarser scope's
+		// pools partition into the finer scope's pools, and
+		// max(sum) <= sum(max).
+		for i := 1; i < len(reqs); i++ {
+			if reqs[i].Spares > reqs[i-1].Spares {
+				t.Errorf("%v: %v spares %d above finer %v's %d",
+					g, reqs[i].Scope, reqs[i].Spares, reqs[i-1].Scope, reqs[i-1].Spares)
+			}
+		}
+		// Sharing must help substantially at the coarse end: a single
+		// global pool rides out uncorrelated rack failures.
+		if reqs[3].Spares*2 > reqs[0].Spares {
+			t.Errorf("%v: global pool %d not clearly below per-rack %d",
+				g, reqs[3].Spares, reqs[0].Spares)
+		}
+		for _, r := range reqs {
+			if r.Pct < 0 || r.Pct > 100 {
+				t.Errorf("pct = %v", r.Pct)
+			}
+			if r.Pools < 1 {
+				t.Errorf("%v: pools = %d", r.Scope, r.Pools)
+			}
+		}
+	}
+}
+
+func TestGroupMuMatchesPerRack(t *testing.T) {
+	// With identity grouping, GroupMuDistributions must agree with
+	// MuDistributions on every rack's max (windows counting differs only
+	// in pre-commission handling).
+	res := testResult(t)
+	perRack, err := metrics.MuDistributions(res, AllComponents, metrics.Daily)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := metrics.GroupMuDistributions(res, AllComponents, metrics.Daily,
+		func(r int) int { return r }, len(res.Fleet.Racks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := range perRack {
+		if perRack[ri].Max() != grouped[ri].Max() {
+			t.Fatalf("rack %d: per-rack max %d != grouped max %d",
+				ri, perRack[ri].Max(), grouped[ri].Max())
+		}
+	}
+}
+
+func TestGroupMuErrors(t *testing.T) {
+	res := testResult(t)
+	if _, err := metrics.GroupMuDistributions(res, nil, metrics.Daily, func(int) int { return 0 }, 1); err == nil {
+		t.Error("no components should error")
+	}
+	if _, err := metrics.GroupMuDistributions(res, AllComponents, metrics.Daily, func(int) int { return 0 }, 0); err == nil {
+		t.Error("zero groups should error")
+	}
+	if _, err := metrics.GroupMuDistributions(res, AllComponents, metrics.Daily, func(int) int { return 5 }, 2); err == nil {
+		t.Error("out-of-range group should error")
+	}
+}

@@ -1,0 +1,218 @@
+// Package repair answers another of Section II's OpEx questions: "Is it
+// better to replace a server/component, as opposed to servicing it?"
+//
+// Two policies are compared over the simulated failure stream:
+//
+//   - Replace: swap the failed unit for stock immediately. Fast (the
+//     simulated repair times model this), but consumes a part every
+//     time.
+//   - Service: diagnose and fix in place. Cheaper in material, slower,
+//     and a fraction of serviced units fail again shortly after (an
+//     imperfect-repair model).
+//
+// The comparison prices downtime, parts, and labour in the TCO model's
+// units, per component class — because a disk costs 2% of a server, the
+// verdict differs by class.
+package repair
+
+import (
+	"errors"
+	"fmt"
+
+	"rainshine/internal/dist"
+	"rainshine/internal/failure"
+	"rainshine/internal/rng"
+	"rainshine/internal/simulate"
+	"rainshine/internal/tco"
+)
+
+// Policy selects the repair strategy.
+type Policy int
+
+// Policies.
+const (
+	Replace Policy = iota
+	Service
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == Replace {
+		return "replace"
+	}
+	return "service"
+}
+
+// Params tunes the service-policy penalty model.
+type Params struct {
+	// ServiceSlowdown multiplies repair durations under Service
+	// (diagnosis and in-place fix take longer than a swap). Zero means
+	// 1.8.
+	ServiceSlowdown float64
+	// RefailProb is the probability a serviced unit fails again within
+	// RefailWindowDays (imperfect repair). Zero means 0.15.
+	RefailProb float64
+	// RefailWindowDays bounds how soon the re-failure lands. Zero
+	// means 30.
+	RefailWindowDays int
+	// SwapLabor is the labour cost of a replacement (hot-swaps are
+	// quick). Zero means 2.
+	SwapLabor float64
+	// ServiceLabor is the per-service labour cost in TCO units
+	// (in-place diagnosis and rework is the expensive kind of labour).
+	// Zero means 6.
+	ServiceLabor float64
+	// PartCostFrac is the fraction of the device price consumed per
+	// replacement (refurbished stock makes it < 1). Zero means 0.9.
+	PartCostFrac float64
+	// DowntimeCostPerServerHour prices unavailability (lost capacity /
+	// SLA credits) in TCO units. Zero means 0.05.
+	DowntimeCostPerServerHour float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.ServiceSlowdown == 0 {
+		p.ServiceSlowdown = 1.8
+	}
+	if p.RefailProb == 0 {
+		p.RefailProb = 0.15
+	}
+	if p.RefailWindowDays == 0 {
+		p.RefailWindowDays = 30
+	}
+	if p.SwapLabor == 0 {
+		p.SwapLabor = 2
+	}
+	if p.ServiceLabor == 0 {
+		p.ServiceLabor = 6
+	}
+	if p.PartCostFrac == 0 {
+		p.PartCostFrac = 0.9
+	}
+	if p.DowntimeCostPerServerHour == 0 {
+		p.DowntimeCostPerServerHour = 0.05
+	}
+	return p
+}
+
+// Outcome is one policy's cost breakdown for one component class.
+type Outcome struct {
+	Component failure.Component
+	Policy    Policy
+	// Events is the number of primary failures handled.
+	Events int
+	// Refails counts the additional failures caused by imperfect
+	// service (zero under Replace).
+	Refails int
+	// DowntimeHours is total device downtime.
+	DowntimeHours float64
+	// MaterialCost, LaborCost, DowntimeCost, and TotalCost are in TCO
+	// units (1 server = 100).
+	MaterialCost float64
+	LaborCost    float64
+	DowntimeCost float64
+	TotalCost    float64
+}
+
+// unitCost prices one device of the class.
+func unitCost(m tco.CostModel, c failure.Component) float64 {
+	switch c {
+	case failure.Disk:
+		return m.DiskUnit
+	case failure.DIMM:
+		return m.DIMMUnit
+	default:
+		return m.ServerUnit
+	}
+}
+
+// Evaluate prices a policy over the simulated event stream, per
+// component class. Deterministic given the seed.
+func Evaluate(res *simulate.Result, policy Policy, m tco.CostModel, p Params, seed uint64) ([]Outcome, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	if policy != Replace && policy != Service {
+		return nil, fmt.Errorf("repair: unknown policy %d", policy)
+	}
+	if seed == 0 {
+		seed = rng.DefaultSeed
+	}
+	src := rng.New(seed).Split("repair/" + policy.String())
+	outs := make([]Outcome, failure.NumComponents)
+	for c := range outs {
+		outs[c].Component = failure.Component(c)
+		outs[c].Policy = policy
+	}
+	refail := dist.Bernoulli{P: p.RefailProb}
+	for _, ev := range res.Events {
+		o := &outs[ev.Component]
+		o.Events++
+		unit := unitCost(m, ev.Component)
+		switch policy {
+		case Replace:
+			o.DowntimeHours += ev.RepairHours
+			o.MaterialCost += unit * p.PartCostFrac
+			o.LaborCost += p.SwapLabor
+		case Service:
+			hours := ev.RepairHours * p.ServiceSlowdown
+			o.DowntimeHours += hours
+			o.LaborCost += p.ServiceLabor
+			// Imperfect repair: the unit may bounce, costing a second
+			// (this time replacing) visit.
+			if refail.Sample(src) {
+				o.Refails++
+				o.DowntimeHours += ev.RepairHours
+				o.MaterialCost += unit * p.PartCostFrac
+				o.LaborCost += p.SwapLabor
+			}
+		}
+	}
+	for c := range outs {
+		o := &outs[c]
+		o.DowntimeCost = o.DowntimeHours * p.DowntimeCostPerServerHour
+		o.TotalCost = o.MaterialCost + o.LaborCost + o.DowntimeCost
+	}
+	return outs, nil
+}
+
+// Recommendation is the per-class verdict.
+type Recommendation struct {
+	Component failure.Component
+	// Better is the cheaper policy; SavingsPct its relative advantage.
+	Better     Policy
+	SavingsPct float64
+	Replace    Outcome
+	Service    Outcome
+}
+
+// Compare evaluates both policies and recommends per component class.
+func Compare(res *simulate.Result, m tco.CostModel, p Params, seed uint64) ([]Recommendation, error) {
+	rep, err := Evaluate(res, Replace, m, p, seed)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := Evaluate(res, Service, m, p, seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(rep) != len(svc) {
+		return nil, errors.New("repair: outcome length mismatch")
+	}
+	out := make([]Recommendation, len(rep))
+	for c := range rep {
+		r := Recommendation{Component: rep[c].Component, Replace: rep[c], Service: svc[c]}
+		hi, lo := rep[c].TotalCost, svc[c].TotalCost
+		r.Better = Service
+		if lo > hi {
+			hi, lo = lo, hi
+			r.Better = Replace
+		}
+		if hi > 0 {
+			r.SavingsPct = 100 * (hi - lo) / hi
+		}
+		out[c] = r
+	}
+	return out, nil
+}

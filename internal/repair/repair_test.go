@@ -1,0 +1,143 @@
+package repair
+
+import (
+	"testing"
+
+	"rainshine/internal/failure"
+	"rainshine/internal/simulate"
+	"rainshine/internal/tco"
+	"rainshine/internal/topology"
+)
+
+var cachedResult *simulate.Result
+
+func testResult(t *testing.T) *simulate.Result {
+	t.Helper()
+	if cachedResult != nil {
+		return cachedResult
+	}
+	res, err := simulate.Run(simulate.Config{
+		Seed:            19,
+		Days:            365,
+		Topology:        topology.Config{RacksPerDC: [2]int{60, 50}},
+		SkipNonHardware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedResult = res
+	return res
+}
+
+func TestPolicyString(t *testing.T) {
+	if Replace.String() != "replace" || Service.String() != "service" {
+		t.Error("Policy.String broken")
+	}
+}
+
+func TestEvaluateAccounting(t *testing.T) {
+	res := testResult(t)
+	outs, err := Evaluate(res, Replace, tco.Default(), Params{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != int(failure.NumComponents) {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	totalEvents := 0
+	for _, o := range outs {
+		totalEvents += o.Events
+		if o.Refails != 0 {
+			t.Error("Replace must not refail")
+		}
+		if o.TotalCost != o.MaterialCost+o.LaborCost+o.DowntimeCost {
+			t.Error("cost breakdown does not sum")
+		}
+		if o.Events > 0 && (o.DowntimeHours <= 0 || o.TotalCost <= 0) {
+			t.Errorf("%v: empty costs despite %d events", o.Component, o.Events)
+		}
+	}
+	if totalEvents != len(res.Events) {
+		t.Errorf("events accounted %d != %d", totalEvents, len(res.Events))
+	}
+}
+
+func TestServiceProducesRefailsAndSlowdown(t *testing.T) {
+	res := testResult(t)
+	rep, err := Evaluate(res, Replace, tco.Default(), Params{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := Evaluate(res, Service, tco.Default(), Params{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range svc {
+		if svc[c].Events == 0 {
+			continue
+		}
+		if svc[c].Refails == 0 {
+			t.Errorf("%v: no refails under service", svc[c].Component)
+		}
+		if svc[c].DowntimeHours <= rep[c].DowntimeHours {
+			t.Errorf("%v: service downtime %v not above replace %v",
+				svc[c].Component, svc[c].DowntimeHours, rep[c].DowntimeHours)
+		}
+		// Service consumes fewer parts.
+		if svc[c].MaterialCost >= rep[c].MaterialCost {
+			t.Errorf("%v: service material %v not below replace %v",
+				svc[c].Component, svc[c].MaterialCost, rep[c].MaterialCost)
+		}
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	res := testResult(t)
+	if _, err := Evaluate(res, Policy(9), tco.Default(), Params{}, 1); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if _, err := Evaluate(res, Replace, tco.CostModel{}, Params{}, 1); err == nil {
+		t.Error("invalid cost model should error")
+	}
+}
+
+func TestCompareVerdictsFollowPartPrices(t *testing.T) {
+	res := testResult(t)
+	recs, err := Compare(res, tco.Default(), Params{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byComp := map[failure.Component]Recommendation{}
+	for _, r := range recs {
+		byComp[r.Component] = r
+		if r.SavingsPct < 0 || r.SavingsPct > 100 {
+			t.Errorf("savings = %v", r.SavingsPct)
+		}
+	}
+	// Disks cost 2 units: replacing them outright beats slow servicing.
+	if byComp[failure.Disk].Better != Replace {
+		t.Errorf("disk verdict = %v, want replace (parts are cheap)", byComp[failure.Disk].Better)
+	}
+	// Whole servers cost 100 units: servicing beats consuming a server
+	// per fault even with refails.
+	if byComp[failure.ServerOther].Better != Service {
+		t.Errorf("server verdict = %v, want service (parts are dear)", byComp[failure.ServerOther].Better)
+	}
+}
+
+func TestCompareDeterministic(t *testing.T) {
+	res := testResult(t)
+	a, err := Compare(res, tco.Default(), Params{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compare(res, tco.Default(), Params{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("recommendation %d differs between identical runs", i)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds matched %d/64 draws", same)
+	}
+}
+
+func TestSplitIsPure(t *testing.T) {
+	root := New(11)
+	// Consume state from the root; splits must not be affected.
+	for i := 0; i < 10; i++ {
+		root.Uint64()
+	}
+	a := root.Split("climate")
+	b := New(11).Split("climate")
+	for i := 0; i < 50; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split depends on parent stream state; it must be pure")
+		}
+	}
+}
+
+func TestSplitLabelsIndependent(t *testing.T) {
+	root := New(3)
+	a := root.Split("alpha")
+	b := root.Split("beta")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("label streams matched %d/64 draws", same)
+	}
+}
+
+func TestSplitIndexDistinct(t *testing.T) {
+	root := New(3)
+	seen := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		v := root.SplitIndex("rack", i).Uint64()
+		if j, ok := seen[v]; ok {
+			t.Fatalf("SplitIndex %d and %d produced identical first draw", i, j)
+		}
+		seen[v] = i
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 20; i++ {
+			f := s.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(DefaultSeed)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntNBounds(t *testing.T) {
+	s := New(1)
+	for n := 1; n < 40; n++ {
+		for i := 0; i < 100; i++ {
+			v := s.IntN(n)
+			if v < 0 || v >= n {
+				t.Fatalf("IntN(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(5)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMixAvalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := mix(0x12345678)
+	total := 0
+	for bit := 0; bit < 64; bit++ {
+		d := mix(0x12345678 ^ (1 << bit))
+		diff := base ^ d
+		n := 0
+		for diff != 0 {
+			diff &= diff - 1
+			n++
+		}
+		total += n
+	}
+	avg := float64(total) / 64
+	if avg < 24 || avg > 40 {
+		t.Fatalf("mix avalanche average %.1f bits, want ~32", avg)
+	}
+}

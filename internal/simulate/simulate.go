@@ -1,0 +1,498 @@
+// Package simulate is the generative engine: it walks the fleet through
+// the observation window, draws hardware failure events from the hazard
+// model (including correlated rack-level shocks), attaches repair
+// durations, and emits the full RMA ticket stream (hardware plus
+// software/boot/other tickets and false positives) that the analyses
+// consume.
+//
+// This package is the substitution for the paper's production telemetry:
+// everything downstream — metrics, CART, provisioning, SKU and
+// environmental analyses — works only with its outputs, never with the
+// planted parameters.
+package simulate
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rainshine/internal/climate"
+	"rainshine/internal/dist"
+	"rainshine/internal/failure"
+	"rainshine/internal/rng"
+	"rainshine/internal/ticket"
+	"rainshine/internal/topology"
+	"rainshine/internal/workload"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Seed roots every random stream. Zero means rng.DefaultSeed.
+	Seed uint64
+	// Days is the observation window length. Zero means 930 (~2.5 y).
+	Days int
+	// Topology overrides fleet construction (testing hook).
+	Topology topology.Config
+	// Params overrides the hazard model; nil means failure.DefaultParams.
+	Params *failure.Params
+	// FalsePositiveRate is the fraction of extra no-fault-found tickets
+	// injected. Negative means 0; zero means the 0.05 default.
+	FalsePositiveRate float64
+	// SkipNonHardware suppresses software/boot/other ticket synthesis
+	// (used by analyses that only need hardware events).
+	SkipNonHardware bool
+	// Workers bounds the number of racks simulated concurrently.
+	// Zero means GOMAXPROCS. Results are identical for any worker
+	// count: each rack draws from its own labelled stream and per-rack
+	// event buffers are merged in rack order.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = rng.DefaultSeed
+	}
+	if c.Days == 0 {
+		c.Days = 930
+	}
+	if c.Topology.ObservationDays == 0 {
+		c.Topology.ObservationDays = c.Days
+	}
+	switch {
+	case c.FalsePositiveRate == 0:
+		c.FalsePositiveRate = 0.05
+	case c.FalsePositiveRate < 0:
+		c.FalsePositiveRate = 0
+	}
+	return c
+}
+
+// Event is one hardware device failure.
+type Event struct {
+	Rack        int32
+	Day         int32
+	Hour        float64 // onset hour within the day [0, 24)
+	Component   failure.Component
+	RepairHours float64
+	// Device identifies which unit of the component class failed within
+	// the rack (0 .. class population-1). Repeat failures of one device
+	// share this index, which is how RMA repeat counts arise.
+	Device int32
+	// Shock marks events belonging to a correlated batch failure.
+	Shock bool
+}
+
+// refailProb is the chance a replacement unit fails again within
+// refailWindowDays — replacement stock re-enters the infant-mortality
+// regime, which is what fills the RMA "repeat count" field the paper
+// describes in Section IV.
+const (
+	refailProb       = 0.08
+	refailWindowDays = 30
+)
+
+// Result bundles everything a simulation produced.
+type Result struct {
+	Cfg     Config
+	Fleet   *topology.Fleet
+	Climate *climate.Model
+	Hazard  *failure.Model
+	Events  []Event
+	Tickets []ticket.Ticket
+	Days    int
+}
+
+// repairDist returns the repair-duration sampler for a component.
+func repairDist(c failure.Component, shock bool) dist.LogNormal {
+	if shock {
+		// Batch events are triaged quickly once diagnosed (~8 h median):
+		// short enough that hourly spare pools can recycle spares within
+		// the day, which is where Fig 12's savings come from.
+		return dist.LogNormal{Mu: 2.1, Sigma: 0.5}
+	}
+	switch c {
+	case failure.Disk:
+		return dist.LogNormal{Mu: 1.6, Sigma: 0.7} // ~5 h median
+	case failure.DIMM:
+		return dist.LogNormal{Mu: 1.5, Sigma: 0.6}
+	default:
+		return dist.LogNormal{Mu: 1.9, Sigma: 0.8} // ~7 h median
+	}
+}
+
+const maxRepairHours = 14 * 24
+
+// Run executes a full simulation.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Days < 1 {
+		return nil, errors.New("simulate: non-positive day count")
+	}
+	root := rng.New(cfg.Seed)
+	fleet, err := topology.Build(root.Split("topology"), cfg.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: building fleet: %w", err)
+	}
+	clim, err := climate.New(root.Split("climate"), fleet, cfg.Days)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: building climate: %w", err)
+	}
+	params := failure.DefaultParams()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	demand, err := workload.New(root.Split("workload"), cfg.Days)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: building demand model: %w", err)
+	}
+	hz := failure.NewWithDemand(fleet, params, demand)
+
+	res := &Result{Cfg: cfg, Fleet: fleet, Climate: clim, Hazard: hz, Days: cfg.Days}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(fleet.Racks) {
+		workers = len(fleet.Racks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	perRack := make([][]Event, len(fleet.Racks))
+	errs := make([]error, len(fleet.Racks))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ri := range next {
+				rack := &fleet.Racks[ri]
+				rsrc := root.SplitIndex("events/rack", ri)
+				perRack[ri], errs[ri] = simulateRack(res, rack, rsrc)
+			}
+		}()
+	}
+	for ri := range fleet.Racks {
+		next <- ri
+	}
+	close(next)
+	wg.Wait()
+	for ri, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("simulate: rack %d: %w", ri, err)
+		}
+	}
+	// Deterministic merge in rack order, independent of scheduling.
+	total := 0
+	for _, evs := range perRack {
+		total += len(evs)
+	}
+	res.Events = make([]Event, 0, total)
+	for _, evs := range perRack {
+		res.Events = append(res.Events, evs...)
+	}
+
+	if err := synthesizeTickets(res, root.Split("tickets")); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// simulateRack draws all hardware events for one rack into a private
+// buffer (safe to run concurrently with other racks).
+func simulateRack(res *Result, rack *topology.Rack, src *rng.Source) ([]Event, error) {
+	hz := res.Hazard
+	var events []Event
+	devicesOf := func(c failure.Component) int {
+		switch c {
+		case failure.Disk:
+			return rack.Disks()
+		case failure.DIMM:
+			return rack.DIMMs()
+		default:
+			return rack.Servers
+		}
+	}
+	// emit records an event and, with probability refailProb, schedules
+	// the replacement unit's early re-failure (a "repeat" ticket).
+	emit := func(ev Event) {
+		events = append(events, ev)
+		if src.Float64() < refailProb {
+			day := int(ev.Day) + 1 + src.IntN(refailWindowDays)
+			if day < res.Days {
+				events = append(events, Event{
+					Rack:        ev.Rack,
+					Day:         int32(day),
+					Hour:        src.Float64() * 24,
+					Component:   ev.Component,
+					RepairHours: clampRepair(repairDist(ev.Component, false).Sample(src)),
+					Device:      ev.Device,
+				})
+			}
+		}
+	}
+	for day := 0; day < res.Days; day++ {
+		if day < rack.CommissionDay {
+			continue
+		}
+		cond, err := res.Climate.At(rack.ID, day)
+		if err != nil {
+			return nil, err
+		}
+		for c := failure.Disk; c < failure.NumComponents; c++ {
+			lambda := hz.RackHazard(c, rack, day, cond)
+			n := dist.Poisson{Lambda: lambda}.SampleInt(src)
+			for k := 0; k < n; k++ {
+				emit(Event{
+					Rack:        int32(rack.ID),
+					Day:         int32(day),
+					Hour:        src.Float64() * 24,
+					Component:   c,
+					RepairHours: clampRepair(repairDist(c, false).Sample(src)),
+					Device:      int32(src.IntN(devicesOf(c))),
+				})
+			}
+		}
+		// Correlated shock: a batch of devices in the rack fails within
+		// the same day. Storage racks suffer chassis-level batches
+		// (backplane/PSU/batch defects) taking whole servers out;
+		// compute racks suffer disk firmware storms — each affected
+		// server loses a disk, which component-level spares (Q1-B) can
+		// cover at 2% of a server's cost. Failures trickle across the
+		// day, so hourly spare pools multiplex what daily pools cannot
+		// (Fig 10 vs Fig 12).
+		if src.Float64() < hz.ShockProbability(rack, day) {
+			sev := hz.ShockSeverity(rack) * (0.5 + src.Float64())
+			if sev > 0.9 {
+				sev = 0.9
+			}
+			comp := failure.Disk
+			// Storage racks split between chassis batches (servers) and
+			// disk storms; compute racks see disk storms only. Disk
+			// storms still take the affected servers down (Q1-A) but can
+			// be absorbed by cheap disk spares at component granularity
+			// (Q1-B, Fig 13).
+			if res.Fleet.SKUs[rack.SKU].Class == "storage" && src.Float64() < 0.5 {
+				comp = failure.ServerOther
+			}
+			for s := 0; s < rack.Servers; s++ {
+				if src.Float64() < sev {
+					// Shock batches name the affected server's unit
+					// directly (server s, or a disk on server s), so a
+					// storm never double-counts a device.
+					device := int32(s)
+					if comp == failure.Disk {
+						device = int32(s*rack.DisksPerServer + src.IntN(rack.DisksPerServer))
+					}
+					emit(Event{
+						Rack:        int32(rack.ID),
+						Day:         int32(day),
+						Hour:        src.Float64() * 24,
+						Component:   comp,
+						RepairHours: clampRepair(repairDist(comp, true).Sample(src)),
+						Device:      device,
+						Shock:       true,
+					})
+				}
+			}
+		}
+	}
+	return events, nil
+}
+
+func clampRepair(h float64) float64 {
+	if h < 0.5 {
+		return 0.5
+	}
+	if h > maxRepairHours {
+		return maxRepairHours
+	}
+	return h
+}
+
+// serverSubFaults returns the per-DC split of ServerOther events into
+// power/server/network fault types, proportioned to Table II.
+func serverSubFaults(dc int) []float64 {
+	if dc == 0 {
+		return []float64{1.59, 2.84, 2.52} // power, server, network
+	}
+	return []float64{3.83, 1.21, 0.65}
+}
+
+// nonHardwareRatios returns per-DC counts of software/boot/other tickets
+// per hardware ticket, derived from Table II's category mix.
+func nonHardwareRatios(dc int) (software, boot, others float64) {
+	if dc == 0 {
+		hw := 30.66
+		return 48.11 / hw, 11.78 / hw, 9.41 / hw
+	}
+	hw := 18.77
+	return 56.45 / hw, 14.00 / hw, 10.77 / hw
+}
+
+// softwareSplit returns the timeout/deployment/crash weights per DC.
+func softwareSplit(dc int) []float64 {
+	if dc == 0 {
+		return []float64{31.27, 13.95, 2.89}
+	}
+	return []float64{38.84, 14.56, 3.05}
+}
+
+// bootSplit returns the PXE/reboot weights per DC.
+func bootSplit(dc int) []float64 {
+	if dc == 0 {
+		return []float64{10.53, 1.25}
+	}
+	return []float64{13.81, 0.19}
+}
+
+// synthesizeTickets converts hardware events into RMA tickets and adds
+// the non-hardware ticket load calibrated to Table II.
+func synthesizeTickets(res *Result, src *rng.Source) error {
+	fleet := res.Fleet
+
+	// Per-DC rack index for placing non-hardware tickets.
+	racksByDC := make([][]int, len(fleet.DCs))
+	for i := range fleet.Racks {
+		dc := fleet.Racks[i].DC
+		racksByDC[dc] = append(racksByDC[dc], i)
+	}
+
+	subFault := make([]*dist.Categorical, len(fleet.DCs))
+	for dc := range subFault {
+		c, err := dist.NewCategorical(serverSubFaults(dc))
+		if err != nil {
+			return err
+		}
+		subFault[dc] = c
+	}
+
+	hwCount := make([]int, len(fleet.DCs))
+	type deviceKey struct {
+		rack   int32
+		comp   failure.Component
+		device int32
+	}
+	byDevice := map[deviceKey][]int{} // ticket indices per device
+	for _, ev := range res.Events {
+		rack := &fleet.Racks[ev.Rack]
+		f := ticket.HardwareFaultOf(ev.Component)
+		if ev.Component == failure.ServerOther {
+			switch subFault[rack.DC].Sample(src) {
+			case 0:
+				f = ticket.PowerFailure
+			case 1:
+				f = ticket.ServerFailure
+			default:
+				f = ticket.NetworkFailure
+			}
+		}
+		idx := len(res.Tickets)
+		res.Tickets = append(res.Tickets, ticket.Ticket{
+			ID:          idx,
+			Day:         int(ev.Day),
+			Hour:        ev.Hour,
+			DC:          rack.DC,
+			Rack:        int(ev.Rack),
+			Fault:       f,
+			RepairHours: ev.RepairHours,
+			Component:   ev.Component,
+			Device:      int(ev.Device),
+		})
+		k := deviceKey{ev.Rack, ev.Component, ev.Device}
+		byDevice[k] = append(byDevice[k], idx)
+		hwCount[rack.DC]++
+	}
+	// Assign repeat counts in time order per device (the RMA re-open
+	// counter of Section IV).
+	for _, idxs := range byDevice {
+		sort.Slice(idxs, func(a, b int) bool {
+			ta, tb := &res.Tickets[idxs[a]], &res.Tickets[idxs[b]]
+			if ta.Day != tb.Day {
+				return ta.Day < tb.Day
+			}
+			return ta.Hour < tb.Hour
+		})
+		for occ, idx := range idxs {
+			res.Tickets[idx].Repeat = occ + 1
+		}
+	}
+
+	if !res.Cfg.SkipNonHardware {
+		for dc := range fleet.DCs {
+			swR, bootR, otherR := nonHardwareRatios(dc)
+			sw, err := dist.NewCategorical(softwareSplit(dc))
+			if err != nil {
+				return err
+			}
+			bt, err := dist.NewCategorical(bootSplit(dc))
+			if err != nil {
+				return err
+			}
+			n := float64(hwCount[dc])
+			addNonHW := func(count int, pick func() ticket.Fault) {
+				for i := 0; i < count; i++ {
+					ri := racksByDC[dc][src.IntN(len(racksByDC[dc]))]
+					res.Tickets = append(res.Tickets, ticket.Ticket{
+						ID:    len(res.Tickets),
+						Day:   weekdayTiltedDay(src, res.Days),
+						Hour:  src.Float64() * 24,
+						DC:    dc,
+						Rack:  ri,
+						Fault: pick(),
+					})
+				}
+			}
+			addNonHW(int(n*swR), func() ticket.Fault {
+				return []ticket.Fault{ticket.Timeout, ticket.Deployment, ticket.Crash}[sw.Sample(src)]
+			})
+			addNonHW(int(n*bootR), func() ticket.Fault {
+				return []ticket.Fault{ticket.PXEBoot, ticket.RebootFailure}[bt.Sample(src)]
+			})
+			addNonHW(int(n*otherR), func() ticket.Fault { return ticket.OtherFault })
+		}
+	}
+
+	// False positives: phantom tickets the operators closed as
+	// no-fault-found. They receive a random fault type and are marked.
+	if res.Cfg.FalsePositiveRate > 0 {
+		fp := int(float64(len(res.Tickets)) * res.Cfg.FalsePositiveRate)
+		for i := 0; i < fp; i++ {
+			dc := src.IntN(len(fleet.DCs))
+			ri := racksByDC[dc][src.IntN(len(racksByDC[dc]))]
+			res.Tickets = append(res.Tickets, ticket.Ticket{
+				ID:            len(res.Tickets),
+				Day:           src.IntN(res.Days),
+				Hour:          src.Float64() * 24,
+				DC:            dc,
+				Rack:          ri,
+				Fault:         ticket.Fault(src.IntN(int(ticket.NumFaults))),
+				FalsePositive: true,
+			})
+		}
+	}
+	return nil
+}
+
+// weekdayTiltedDay draws a day with the Fig 3 weekday bias via
+// rejection sampling.
+func weekdayTiltedDay(src *rng.Source, days int) int {
+	for {
+		d := src.IntN(days)
+		// Weekdays accepted always; weekends at ~76% (0.95/1.25).
+		if !isWeekendFast(d) || src.Float64() < 0.76 {
+			return d
+		}
+	}
+}
+
+// isWeekendFast avoids time.Time allocation in the hot ticket loop.
+// Day 0 (1 Jan 2012) was a Sunday.
+func isWeekendFast(day int) bool {
+	w := day % 7
+	return w == 0 || w == 6
+}

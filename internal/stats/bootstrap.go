@@ -1,0 +1,30 @@
+package stats
+
+import (
+	"sort"
+
+	"rainshine/internal/rng"
+)
+
+// BootstrapCI estimates a percentile-method confidence interval for
+// statistic stat over sample xs with the given number of resamples.
+// level is the two-sided confidence level, e.g. 0.95.
+func BootstrapCI(src *rng.Source, xs []float64, stat func([]float64) float64, resamples int, level float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if resamples < 2 {
+		resamples = 2
+	}
+	estimates := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = xs[src.IntN(len(xs))]
+		}
+		estimates[r] = stat(buf)
+	}
+	sort.Float64s(estimates)
+	alpha := (1 - level) / 2
+	return quantileSorted(estimates, alpha), quantileSorted(estimates, 1-alpha), nil
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ChiSquareGOF performs Pearson's chi-square goodness-of-fit test of
+// observed counts against expected proportions (which are normalized
+// internally). Used to score how closely the generated Table II ticket
+// mix tracks the published one.
+func ChiSquareGOF(observed []float64, expectedProportions []float64) (TestResult, error) {
+	if len(observed) != len(expectedProportions) {
+		return TestResult{}, errors.New("stats: length mismatch")
+	}
+	if len(observed) < 2 {
+		return TestResult{}, errors.New("stats: need at least two categories")
+	}
+	total := Sum(observed)
+	if total <= 0 {
+		return TestResult{}, errors.New("stats: no observations")
+	}
+	propTotal := Sum(expectedProportions)
+	if propTotal <= 0 {
+		return TestResult{}, errors.New("stats: degenerate expected proportions")
+	}
+	chi2 := 0.0
+	for i, o := range observed {
+		if o < 0 || expectedProportions[i] < 0 {
+			return TestResult{}, errors.New("stats: negative counts")
+		}
+		e := total * expectedProportions[i] / propTotal
+		if e == 0 {
+			if o == 0 {
+				continue
+			}
+			return TestResult{}, errors.New("stats: observed count in zero-probability category")
+		}
+		d := o - e
+		chi2 += d * d / e
+	}
+	df := float64(len(observed) - 1)
+	return TestResult{Statistic: chi2, DF: df, P: 1 - ChiSquareCDF(chi2, df)}, nil
+}
+
+// ChiSquareCDF returns P(X <= x) for a chi-square distribution with df
+// degrees of freedom.
+func ChiSquareCDF(x, df float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regIncGammaLower(df/2, x/2)
+}
+
+// regIncGammaLower computes the regularized lower incomplete gamma
+// function P(a, x), using the series expansion for x < a+1 and the
+// continued fraction for the complement otherwise (Numerical Recipes
+// gser/gcf).
+func regIncGammaLower(a, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaCF(a, x)
+}
+
+// gammaSeries evaluates P(a, x) by its series representation.
+func gammaSeries(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 3e-14
+	)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lgamma(a))
+}
+
+// gammaCF evaluates Q(a, x) = 1 - P(a, x) by continued fraction
+// (modified Lentz).
+func gammaCF(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h * math.Exp(-x+a*math.Log(x)-lgamma(a))
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"rainshine/internal/rng"
+)
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// Known critical values: P(X <= 3.841) = 0.95 for df=1;
+	// P(X <= 5.991) = 0.95 for df=2; P(X <= 18.307) = 0.95 for df=10.
+	cases := []struct {
+		x, df, want float64
+	}{
+		{3.841, 1, 0.95},
+		{5.991, 2, 0.95},
+		{18.307, 10, 0.95},
+		{0, 3, 0},
+	}
+	for _, c := range cases {
+		if got := ChiSquareCDF(c.x, c.df); math.Abs(got-c.want) > 0.001 {
+			t.Errorf("ChiSquareCDF(%v, %v) = %v, want %v", c.x, c.df, got, c.want)
+		}
+	}
+	// Median of chi-square with df=2 is 2*ln2.
+	if got := ChiSquareCDF(2*math.Ln2, 2); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("median check = %v", got)
+	}
+	// Monotone.
+	prev := -1.0
+	for x := 0.0; x < 30; x += 0.5 {
+		v := ChiSquareCDF(x, 5)
+		if v < prev {
+			t.Fatalf("CDF not monotone at %v", x)
+		}
+		prev = v
+	}
+}
+
+func TestChiSquareGOFExactFit(t *testing.T) {
+	// Observations exactly proportional to expectations: chi2 = 0, p = 1.
+	obs := []float64{50, 30, 20}
+	props := []float64{0.5, 0.3, 0.2}
+	r, err := ChiSquareGOF(obs, props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Statistic != 0 || math.Abs(r.P-1) > 1e-9 {
+		t.Errorf("exact fit: %+v", r)
+	}
+}
+
+func TestChiSquareGOFDetectsMismatch(t *testing.T) {
+	obs := []float64{90, 5, 5}
+	props := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	r, err := ChiSquareGOF(obs, props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Significant(0.001) {
+		t.Errorf("gross mismatch not detected: %+v", r)
+	}
+}
+
+func TestChiSquareGOFNull(t *testing.T) {
+	// Multinomial draws from the expected proportions should usually
+	// pass.
+	src := rng.New(41)
+	props := []float64{0.4, 0.3, 0.2, 0.1}
+	rejections := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		obs := make([]float64, len(props))
+		for i := 0; i < 1000; i++ {
+			u := src.Float64()
+			acc := 0.0
+			for k, p := range props {
+				acc += p
+				if u <= acc {
+					obs[k]++
+					break
+				}
+			}
+		}
+		r, err := ChiSquareGOF(obs, props)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Significant(0.05) {
+			rejections++
+		}
+	}
+	if rejections > trials/5 {
+		t.Errorf("null rejected %d/%d times", rejections, trials)
+	}
+}
+
+func TestChiSquareGOFErrors(t *testing.T) {
+	if _, err := ChiSquareGOF([]float64{1}, []float64{1}); err == nil {
+		t.Error("single category should error")
+	}
+	if _, err := ChiSquareGOF([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ChiSquareGOF([]float64{0, 0}, []float64{0.5, 0.5}); err == nil {
+		t.Error("no observations should error")
+	}
+	if _, err := ChiSquareGOF([]float64{-1, 2}, []float64{0.5, 0.5}); err == nil {
+		t.Error("negative counts should error")
+	}
+	if _, err := ChiSquareGOF([]float64{1, 2}, []float64{0, 0}); err == nil {
+		t.Error("zero expectations should error")
+	}
+	if _, err := ChiSquareGOF([]float64{1, 2}, []float64{0, 1}); err == nil {
+		t.Error("observed mass in zero-probability category should error")
+	}
+	// Zero-probability category with zero observations is fine.
+	if _, err := ChiSquareGOF([]float64{0, 2, 3}, []float64{0, 0.5, 0.5}); err != nil {
+		t.Errorf("benign zero category: %v", err)
+	}
+}

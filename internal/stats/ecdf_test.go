@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3.9, 0.75}, {4, 1}, {100, 1},
+	}
+	for _, tt := range tests {
+		if got := e.At(tt.x); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if e.N() != 4 || e.Min() != 1 || e.Max() != 4 {
+		t.Errorf("N/Min/Max = %d/%v/%v", e.N(), e.Min(), e.Max())
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	if _, err := NewECDF(nil); err != ErrEmpty {
+		t.Errorf("NewECDF(nil) err = %v", err)
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e, _ := NewECDF([]float64{1, 2, 3, 4, 5})
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.21, 2}, {0.5, 3}, {0.95, 5}, {1, 5},
+	}
+	for _, tt := range tests {
+		if got := e.Quantile(tt.p); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+// The provisioning logic depends on Quantile being a right-inverse of At:
+// At(Quantile(p)) >= p for all p in (0,1].
+func TestECDFQuantileInverseProperty(t *testing.T) {
+	f := func(raw []float64, pRaw float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := math.Abs(math.Mod(pRaw, 1))
+		e, err := NewECDF(xs)
+		if err != nil {
+			return false
+		}
+		return e.At(e.Quantile(p)) >= p-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e, _ := NewECDF([]float64{3, 1, 3, 2})
+	xs, ps := e.Points()
+	wantX := []float64{1, 2, 3}
+	wantP := []float64{0.25, 0.5, 1}
+	if len(xs) != 3 {
+		t.Fatalf("Points len = %d", len(xs))
+	}
+	for i := range wantX {
+		if xs[i] != wantX[i] || !almostEqual(ps[i], wantP[i], 1e-12) {
+			t.Errorf("Points[%d] = (%v,%v), want (%v,%v)", i, xs[i], ps[i], wantX[i], wantP[i])
+		}
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	e, _ := NewECDF(in)
+	in[0] = 100
+	if e.Max() != 3 {
+		t.Error("ECDF aliased caller slice")
+	}
+}

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuantile checks that Quantile never panics and respects order
+// statistics bounds for arbitrary (finite) inputs.
+func FuzzQuantile(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, 0.5)
+	f.Add([]byte{9}, 0.0)
+	f.Add([]byte{0, 0, 255, 7}, 1.0)
+	f.Fuzz(func(t *testing.T, raw []byte, p float64) {
+		if len(raw) == 0 {
+			return
+		}
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = float64(b) - 128
+		}
+		q, err := Quantile(xs, p)
+		if err != nil {
+			if p >= 0 && p <= 1 && !math.IsNaN(p) {
+				t.Fatalf("valid p=%v rejected: %v", p, err)
+			}
+			return
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		if q < mn || q > mx {
+			t.Fatalf("quantile %v outside sample range [%v, %v]", q, mn, mx)
+		}
+	})
+}
+
+// FuzzChiSquareCDF checks CDF bounds for arbitrary inputs.
+func FuzzChiSquareCDF(f *testing.F) {
+	f.Add(1.0, 1.0)
+	f.Add(100.0, 3.0)
+	f.Add(0.001, 50.0)
+	f.Fuzz(func(t *testing.T, x, df float64) {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(df) || math.IsInf(df, 0) {
+			return
+		}
+		if df <= 0 || df > 1e6 || x > 1e9 {
+			return
+		}
+		v := ChiSquareCDF(x, df)
+		if v < 0 || v > 1+1e-9 || math.IsNaN(v) {
+			t.Fatalf("ChiSquareCDF(%v, %v) = %v", x, df, v)
+		}
+	})
+}

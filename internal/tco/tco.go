@@ -1,0 +1,115 @@
+// Package tco is the parametric total-cost-of-ownership model behind the
+// paper's savings estimates (Table IV, Fig 13, and the Q2 procurement
+// scenarios). It follows the structure of Kontorinis et al. [24], which
+// the paper cites: a share of TCO scales with provisioned server count
+// (server capex, power infrastructure), the rest is fixed (facility,
+// staffing, base energy). Relative component prices come from the
+// commercial estimator the paper used: server:disk:DIMM = 100:2:10.
+package tco
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CostModel holds the cost parameters.
+type CostModel struct {
+	// Unit costs in arbitrary consistent units (paper ratio 100:2:10).
+	ServerUnit float64
+	DiskUnit   float64
+	DIMMUnit   float64
+	// ScalingShare is the fraction of TCO proportional to provisioned
+	// server capacity (capex + power infrastructure); FixedShare is the
+	// remainder. They must sum to 1.
+	ScalingShare float64
+	FixedShare   float64
+	// RepairCost is the maintenance cost per failure event, in the same
+	// units as ServerUnit (truck roll + part + labour).
+	RepairCost float64
+}
+
+// Default returns the calibrated model.
+func Default() CostModel {
+	return CostModel{
+		ServerUnit:   100,
+		DiskUnit:     2,
+		DIMMUnit:     10,
+		ScalingShare: 0.75,
+		FixedShare:   0.25,
+		RepairCost:   8,
+	}
+}
+
+// Validate checks internal consistency.
+func (m CostModel) Validate() error {
+	if m.ServerUnit <= 0 || m.DiskUnit <= 0 || m.DIMMUnit <= 0 {
+		return errors.New("tco: unit costs must be positive")
+	}
+	if m.ScalingShare < 0 || m.FixedShare < 0 {
+		return errors.New("tco: negative shares")
+	}
+	if s := m.ScalingShare + m.FixedShare; s < 0.999 || s > 1.001 {
+		return fmt.Errorf("tco: shares sum to %v, want 1", s)
+	}
+	return nil
+}
+
+// RelativeSavings returns the fractional TCO savings of provisioning at
+// over-provision fraction fAlt instead of fBase (both as fractions of
+// base capacity, e.g. 0.20 for 20% spares). Positive means fAlt is
+// cheaper. Savings saturate through the fixed share: halving spares does
+// not halve TCO.
+func (m CostModel) RelativeSavings(fBase, fAlt float64) float64 {
+	base := m.FixedShare + m.ScalingShare*(1+fBase)
+	alt := m.FixedShare + m.ScalingShare*(1+fAlt)
+	return (base - alt) / base
+}
+
+// SpareCost prices a spare pool.
+func (m CostModel) SpareCost(servers, disks, dimms float64) float64 {
+	return servers*m.ServerUnit + disks*m.DiskUnit + dimms*m.DIMMUnit
+}
+
+// ProcurementScenario compares two SKUs for hosting a workload on
+// nServers, given their spare requirements (fractions), their average
+// failure rates (repairs per server per year), their relative prices,
+// and a time horizon. It returns the relative TCO savings of choosing
+// SKU A over SKU B (positive = A cheaper). This is the Q2 decision:
+// the SF and MF approaches disagree on spareFrac/failPerServerYear
+// inputs, and therefore on the verdict.
+type ProcurementScenario struct {
+	Model        CostModel
+	HorizonYears float64
+	// PriceA and PriceB are per-server prices relative to ServerUnit
+	// (1.0 = baseline).
+	PriceA, PriceB float64
+	// SpareFracA/B is the spare capacity each SKU needs.
+	SpareFracA, SpareFracB float64
+	// FailPerServerYearA/B drives maintenance cost.
+	FailPerServerYearA, FailPerServerYearB float64
+}
+
+// Savings returns the relative TCO savings of SKU A over SKU B.
+func (s ProcurementScenario) Savings() (float64, error) {
+	if err := s.Model.Validate(); err != nil {
+		return 0, err
+	}
+	if s.HorizonYears <= 0 {
+		return 0, errors.New("tco: non-positive horizon")
+	}
+	costA := s.perServerTCO(s.PriceA, s.SpareFracA, s.FailPerServerYearA)
+	costB := s.perServerTCO(s.PriceB, s.SpareFracB, s.FailPerServerYearB)
+	return (costB - costA) / costB, nil
+}
+
+// perServerTCO computes the per-server cost over the horizon: hardware
+// (with spares), the fixed facility share, and repairs.
+func (s ProcurementScenario) perServerTCO(price, spareFrac, failPerYear float64) float64 {
+	m := s.Model
+	hardware := price * m.ServerUnit * (1 + spareFrac)
+	// Fixed facility share, expressed per unit of baseline server cost
+	// so that hardware:fixed follows ScalingShare:FixedShare at baseline.
+	fixed := m.ServerUnit * m.FixedShare / m.ScalingShare
+	repairs := failPerYear * s.HorizonYears * m.RepairCost
+	return hardware + fixed + repairs
+}

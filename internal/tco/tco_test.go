@@ -1,0 +1,151 @@
+package tco
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []CostModel{
+		{ServerUnit: 0, DiskUnit: 2, DIMMUnit: 10, ScalingShare: 0.75, FixedShare: 0.25},
+		{ServerUnit: 100, DiskUnit: -1, DIMMUnit: 10, ScalingShare: 0.75, FixedShare: 0.25},
+		{ServerUnit: 100, DiskUnit: 2, DIMMUnit: 10, ScalingShare: 0.8, FixedShare: 0.25},
+		{ServerUnit: 100, DiskUnit: 2, DIMMUnit: 10, ScalingShare: -0.1, FixedShare: 1.1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d should fail validation", i)
+		}
+	}
+}
+
+func TestRelativeSavings(t *testing.T) {
+	m := Default()
+	// Equal fractions: zero savings.
+	if got := m.RelativeSavings(0.2, 0.2); got != 0 {
+		t.Errorf("equal fractions savings = %v", got)
+	}
+	// Lower alt fraction: positive savings.
+	s := m.RelativeSavings(0.4, 0.1)
+	if s <= 0 || s >= 1 {
+		t.Errorf("savings = %v", s)
+	}
+	// Worked example: (0.25+0.75*1.4 - 0.25-0.75*1.1)/(0.25+0.75*1.4).
+	want := (0.75 * 0.3) / (0.25 + 0.75*1.4)
+	if math.Abs(s-want) > 1e-12 {
+		t.Errorf("savings = %v, want %v", s, want)
+	}
+	// Higher alt fraction: negative savings.
+	if m.RelativeSavings(0.1, 0.4) >= 0 {
+		t.Error("going to more spares should cost")
+	}
+}
+
+func TestRelativeSavingsMonotoneProperty(t *testing.T) {
+	m := Default()
+	f := func(a, b, c float64) bool {
+		fb := math.Abs(math.Mod(a, 1))
+		f1 := math.Abs(math.Mod(b, 1))
+		f2 := math.Abs(math.Mod(c, 1))
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		// Lower alt fraction always saves at least as much.
+		return m.RelativeSavings(fb, f1) >= m.RelativeSavings(fb, f2)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpareCostRatios(t *testing.T) {
+	m := Default()
+	// One server costs as much as 50 disks or 10 DIMMs (paper 100:2:10).
+	if m.SpareCost(1, 0, 0) != 50*m.SpareCost(0, 1, 0) {
+		t.Error("server:disk ratio != 50")
+	}
+	if m.SpareCost(1, 0, 0) != 10*m.SpareCost(0, 0, 1) {
+		t.Error("server:DIMM ratio != 10")
+	}
+	if got := m.SpareCost(2, 10, 4); got != 2*100+10*2+4*10 {
+		t.Errorf("SpareCost = %v", got)
+	}
+}
+
+func TestProcurementEqualSKUs(t *testing.T) {
+	s := ProcurementScenario{
+		Model: Default(), HorizonYears: 3,
+		PriceA: 1, PriceB: 1,
+		SpareFracA: 0.2, SpareFracB: 0.2,
+		FailPerServerYearA: 0.5, FailPerServerYearB: 0.5,
+	}
+	got, err := s.Savings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("identical SKUs savings = %v", got)
+	}
+}
+
+func TestProcurementReliableSKUWinsWhenPricedEqual(t *testing.T) {
+	s := ProcurementScenario{
+		Model: Default(), HorizonYears: 3,
+		PriceA: 1, PriceB: 1,
+		SpareFracA: 0.05, SpareFracB: 0.30,
+		FailPerServerYearA: 0.2, FailPerServerYearB: 2.0,
+	}
+	got, err := s.Savings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0.05 {
+		t.Errorf("reliable SKU savings = %v, want clearly positive", got)
+	}
+}
+
+func TestProcurementPremiumCanFlipVerdict(t *testing.T) {
+	// The Q2 story: with a modest true reliability edge, a 1.5x price
+	// premium makes the "reliable" SKU a net loss.
+	base := ProcurementScenario{
+		Model: Default(), HorizonYears: 3,
+		PriceA: 1, PriceB: 1,
+		SpareFracA: 0.10, SpareFracB: 0.22,
+		FailPerServerYearA: 0.5, FailPerServerYearB: 2.0,
+	}
+	atPar, err := base.Savings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atPar <= 0 {
+		t.Fatalf("at equal price A should win: %v", atPar)
+	}
+	prem := base
+	prem.PriceA = 1.5
+	atPremium, err := prem.Savings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atPremium >= 0 {
+		t.Errorf("at 1.5x premium A should lose: %v", atPremium)
+	}
+}
+
+func TestProcurementErrors(t *testing.T) {
+	s := ProcurementScenario{Model: Default()}
+	if _, err := s.Savings(); err == nil {
+		t.Error("zero horizon should error")
+	}
+	s.HorizonYears = 3
+	s.Model.ServerUnit = 0
+	if _, err := s.Savings(); err == nil {
+		t.Error("invalid model should error")
+	}
+}

@@ -1,0 +1,140 @@
+// Package textplot renders small ASCII bar charts and CDF plots so the
+// CLI can show each reproduced figure directly in the terminal.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value, optionally with an error term.
+type Bar struct {
+	Label string
+	Value float64
+	Err   float64
+}
+
+// BarChart renders bars scaled to width characters, one per line.
+func BarChart(title string, bars []Bar, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxV := 0.0
+	maxLabel := 0
+	for _, bar := range bars {
+		if bar.Value > maxV {
+			maxV = bar.Value
+		}
+		if len(bar.Label) > maxLabel {
+			maxLabel = len(bar.Label)
+		}
+	}
+	for _, bar := range bars {
+		n := 0
+		if maxV > 0 && !math.IsNaN(bar.Value) {
+			n = int(math.Round(bar.Value / maxV * float64(width)))
+		}
+		if n < 0 {
+			n = 0
+		}
+		errStr := ""
+		if bar.Err > 0 {
+			errStr = fmt.Sprintf(" (sd %.3g)", bar.Err)
+		}
+		fmt.Fprintf(&b, "  %-*s |%-*s %.4g%s\n", maxLabel, bar.Label, width, strings.Repeat("#", n), bar.Value, errStr)
+	}
+	return b.String()
+}
+
+// Series is one named CDF curve.
+type Series struct {
+	Name string
+	X    []float64 // sorted values
+	P    []float64 // cumulative probabilities
+}
+
+// CDF renders step-function CDFs as a coarse character grid.
+func CDF(title string, series []Series, width, height int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 12
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxX := 0.0
+	for _, s := range series {
+		for _, x := range s.X {
+			if x > maxX {
+				maxX = x
+			}
+		}
+	}
+	if maxX == 0 {
+		maxX = 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*o+x#@%&"
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			col := int(s.X[i] / maxX * float64(width-1))
+			row := height - 1 - int(s.P[i]*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = mark
+			}
+		}
+	}
+	for i, row := range grid {
+		p := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "  %4.2f |%s|\n", p, string(row))
+	}
+	fmt.Fprintf(&b, "       %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&b, "       0%*s%.3g\n", width-4, "", maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  [%c] %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}
+
+// Table renders rows as fixed-width columns.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("title", []Bar{
+		{Label: "a", Value: 1},
+		{Label: "bb", Value: 2, Err: 0.5},
+		{Label: "c", Value: 0},
+	}, 10)
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The max bar has full width of #.
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)) {
+		t.Errorf("max bar not full width: %q", lines[2])
+	}
+	if !strings.Contains(lines[2], "sd 0.5") {
+		t.Errorf("error term missing: %q", lines[2])
+	}
+	// Zero bar has no #.
+	if strings.Contains(lines[3], "#") {
+		t.Errorf("zero bar rendered: %q", lines[3])
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	out := BarChart("z", []Bar{{Label: "a", Value: 0}}, 0)
+	if !strings.Contains(out, "a") {
+		t.Error("label missing")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	out := CDF("cdf", []Series{
+		{Name: "s1", X: []float64{1, 2, 3}, P: []float64{0.3, 0.6, 1.0}},
+		{Name: "s2", X: []float64{2, 4}, P: []float64{0.5, 1.0}},
+	}, 20, 8)
+	if !strings.Contains(out, "[*] s1") || !strings.Contains(out, "[o] s2") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("marks missing")
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	out := CDF("e", nil, 0, 0)
+	if !strings.Contains(out, "e") {
+		t.Error("title missing")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"A", "Col"}, [][]string{{"1", "x"}, {"22", "yyyy"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "A ") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "--") {
+		t.Errorf("separator = %q", lines[1])
+	}
+}

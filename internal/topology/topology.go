@@ -1,0 +1,433 @@
+// Package topology models the physical and logical inventory of the two
+// production datacenters in the paper (Table I / Table III): DCs,
+// regions, rows, racks, servers, and the per-server disk and DIMM
+// populations, together with SKU, workload, power-rating, and
+// commission-age metadata.
+//
+// The builder deliberately plants the placement *confounding* the paper
+// observes: SKU S2 racks are concentrated in DC1's hottest region, at
+// high power ratings, running the failure-heavy W2 workload — which is
+// exactly why single-factor SKU comparisons overestimate S2's
+// unreliability (Figs 14-15).
+package topology
+
+import (
+	"fmt"
+
+	"rainshine/internal/rng"
+)
+
+// DaysPerMonth approximates calendar months for age bucketing.
+const DaysPerMonth = 30
+
+// SKU identifies a server configuration (vendor product), S1-S7.
+type SKU int
+
+// SKU identifiers. Per Table III: S1&S3 storage-intensive, S2&S4
+// compute-intensive, S5&S6 mixed, S7 HPC.
+const (
+	S1 SKU = iota
+	S2
+	S3
+	S4
+	S5
+	S6
+	S7
+	NumSKUs
+)
+
+// String returns "S1".."S7".
+func (s SKU) String() string { return fmt.Sprintf("S%d", int(s)+1) }
+
+// SKUNames lists all SKU labels in order.
+func SKUNames() []string {
+	out := make([]string, NumSKUs)
+	for i := range out {
+		out[i] = SKU(i).String()
+	}
+	return out
+}
+
+// Workload identifies a hosted workload category, W1-W7.
+type Workload int
+
+// Workload identifiers. Per Table III: W1&W2 compute, W3 HPC, W4&W7
+// storage-compute, W5&W6 storage-data.
+const (
+	W1 Workload = iota
+	W2
+	W3
+	W4
+	W5
+	W6
+	W7
+	NumWorkloads
+)
+
+// String returns "W1".."W7".
+func (w Workload) String() string { return fmt.Sprintf("W%d", int(w)+1) }
+
+// WorkloadNames lists all workload labels in order.
+func WorkloadNames() []string {
+	out := make([]string, NumWorkloads)
+	for i := range out {
+		out[i] = Workload(i).String()
+	}
+	return out
+}
+
+// SKUSpec describes a server configuration. Compute SKUs pack more
+// servers per rack with few disks; storage SKUs have fewer servers each
+// carrying many disks (Section IV).
+type SKUSpec struct {
+	SKU            SKU
+	Class          string // "storage", "compute", "mixed", "hpc"
+	ServersPerRack int
+	DisksPerServer int
+	DIMMsPerServer int
+	// RelCost is the relative server cost (S2 = 1.0 baseline) used by
+	// the Q2 procurement TCO scenarios.
+	RelCost float64
+}
+
+// SKUCatalog returns the spec for every SKU.
+func SKUCatalog() []SKUSpec {
+	return []SKUSpec{
+		{SKU: S1, Class: "storage", ServersPerRack: 20, DisksPerServer: 12, DIMMsPerServer: 8, RelCost: 1.1},
+		{SKU: S2, Class: "compute", ServersPerRack: 44, DisksPerServer: 4, DIMMsPerServer: 16, RelCost: 1.0},
+		{SKU: S3, Class: "storage", ServersPerRack: 22, DisksPerServer: 10, DIMMsPerServer: 8, RelCost: 1.05},
+		{SKU: S4, Class: "compute", ServersPerRack: 46, DisksPerServer: 4, DIMMsPerServer: 16, RelCost: 1.0},
+		{SKU: S5, Class: "mixed", ServersPerRack: 36, DisksPerServer: 6, DIMMsPerServer: 12, RelCost: 1.0},
+		{SKU: S6, Class: "mixed", ServersPerRack: 34, DisksPerServer: 6, DIMMsPerServer: 12, RelCost: 1.0},
+		{SKU: S7, Class: "hpc", ServersPerRack: 40, DisksPerServer: 2, DIMMsPerServer: 24, RelCost: 1.3},
+	}
+}
+
+// Cooling identifies a DC's cooling technology.
+type Cooling int
+
+// Cooling plant types (Table I).
+const (
+	Adiabatic Cooling = iota
+	ChilledWater
+)
+
+// String names the cooling type.
+func (c Cooling) String() string {
+	if c == Adiabatic {
+		return "Adiabatic"
+	}
+	return "Chilled water"
+}
+
+// DCSpec describes one datacenter (Table I).
+type DCSpec struct {
+	Index             int // 0 = DC1, 1 = DC2
+	Name              string
+	Packaging         string
+	AvailabilityNines int
+	Cooling           Cooling
+	Regions           int
+	Rows              int
+	Racks             int
+}
+
+// DefaultDCs returns the two datacenters of the study.
+func DefaultDCs() []DCSpec {
+	return []DCSpec{
+		{Index: 0, Name: "DC1", Packaging: "Container", AvailabilityNines: 3, Cooling: Adiabatic, Regions: 4, Rows: 18, Racks: 331},
+		{Index: 1, Name: "DC2", Packaging: "Colocated", AvailabilityNines: 5, Cooling: ChilledWater, Regions: 3, Rows: 32, Racks: 290},
+	}
+}
+
+// PowerRatings lists the rack power ratings (kW) observed in Fig 8.
+var PowerRatings = []float64{4, 6, 7, 8, 9, 12, 13, 15}
+
+// Rack is one rack: the paper's unit of workload placement and spare
+// provisioning.
+type Rack struct {
+	ID       int    // global index across both DCs
+	Name     string // e.g. "DC1-R017"
+	DC       int    // 0 or 1
+	Region   int    // region index within the DC
+	Row      int    // row index within the DC
+	SKU      SKU
+	Workload Workload
+	PowerKW  float64
+	// CommissionDay is the day the rack entered service, as an offset
+	// (possibly negative) from the observation window start.
+	CommissionDay  int
+	Servers        int
+	DisksPerServer int
+	DIMMsPerServer int
+}
+
+// AgeMonths returns the rack's equipment age in months on the given
+// observation day.
+func (r *Rack) AgeMonths(day int) float64 {
+	return float64(day-r.CommissionDay) / DaysPerMonth
+}
+
+// Disks returns the rack's total disk count.
+func (r *Rack) Disks() int { return r.Servers * r.DisksPerServer }
+
+// DIMMs returns the rack's total DIMM count.
+func (r *Rack) DIMMs() int { return r.Servers * r.DIMMsPerServer }
+
+// Fleet is the full two-DC inventory.
+type Fleet struct {
+	DCs   []DCSpec
+	Racks []Rack
+	SKUs  []SKUSpec
+}
+
+// Config controls fleet construction.
+type Config struct {
+	// ObservationDays is the length of the study window; commission
+	// days are drawn from up to 5 years before its end (Table III ages
+	// 0-5 years). Zero means 930 (~2.5 years, the paper's span).
+	ObservationDays int
+	// RacksPerDC overrides the per-DC rack counts (testing hook).
+	// Zero entries keep the Table I defaults.
+	RacksPerDC [2]int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ObservationDays == 0 {
+		c.ObservationDays = 930
+	}
+	return c
+}
+
+// workloadSKUAffinity returns, for each workload, the weight over SKUs
+// capturing which configurations the workload is deployed on.
+// Storage-data workloads run on storage SKUs, compute on compute SKUs,
+// etc., with some spill-over.
+func workloadSKUAffinity() map[Workload][]float64 {
+	return map[Workload][]float64{
+		//                 S1   S2   S3   S4   S5   S6   S7
+		W1: {0.00, 0.35, 0.00, 0.55, 0.05, 0.05, 0.00},
+		W2: {0.00, 0.90, 0.00, 0.05, 0.025, 0.025, 0.00},
+		W3: {0.00, 0.00, 0.00, 0.00, 0.05, 0.05, 0.90},
+		W4: {0.05, 0.05, 0.05, 0.05, 0.40, 0.40, 0.00},
+		W5: {0.45, 0.00, 0.45, 0.00, 0.05, 0.05, 0.00},
+		W6: {0.45, 0.00, 0.45, 0.00, 0.05, 0.05, 0.00},
+		W7: {0.05, 0.05, 0.05, 0.05, 0.40, 0.40, 0.00},
+	}
+}
+
+// workloadMix returns the deployment fraction per workload per DC.
+// Both DCs host all classes but in different proportions.
+func workloadMix(dc int) []float64 {
+	if dc == 0 {
+		//      W1    W2    W3    W4    W5    W6    W7
+		return []float64{0.22, 0.18, 0.06, 0.12, 0.12, 0.18, 0.12}
+	}
+	return []float64{0.20, 0.10, 0.10, 0.14, 0.14, 0.20, 0.12}
+}
+
+// Build constructs the fleet deterministically from the stream.
+func Build(src *rng.Source, cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	dcs := DefaultDCs()
+	for i := range dcs {
+		if cfg.RacksPerDC[i] > 0 {
+			dcs[i].Racks = cfg.RacksPerDC[i]
+		}
+	}
+	catalog := SKUCatalog()
+	affinity := workloadSKUAffinity()
+	fleet := &Fleet{DCs: dcs, SKUs: catalog}
+
+	for _, dc := range dcs {
+		dcSrc := src.SplitIndex("topology/dc", dc.Index)
+		mix, err := dist(workloadMix(dc.Index))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < dc.Racks; i++ {
+			rsrc := dcSrc.SplitIndex("rack", i)
+			wl := Workload(sampleIdx(rsrc, mix))
+			aff, err := dist(affinity[wl])
+			if err != nil {
+				return nil, err
+			}
+			sku := SKU(sampleIdx(rsrc, aff))
+			row := i % dc.Rows
+			region := regionOfRow(dc, row)
+
+			// Plant the Q2 confounding: S2 racks gravitate to DC1
+			// region 0 (the hot aisle set) at high power ratings.
+			if sku == S2 && dc.Index == 0 && rsrc.Float64() < 0.4 {
+				region = 0
+				row = rowInRegion(dc, 0, rsrc)
+			}
+			spec := catalog[sku]
+			power := drawPower(rsrc, spec)
+			commission := drawCommission(rsrc, cfg.ObservationDays)
+			// More Q2 confounding: the S2 generation was deployed as a
+			// dense, recent refresh (high power brackets, young racks),
+			// while S4 is an older low-density line. A naive per-SKU
+			// comparison therefore also picks up power and
+			// infant-mortality effects.
+			switch sku {
+			case S2:
+				if rsrc.Float64() < 0.7 {
+					power = []float64{12, 13, 15}[rsrc.IntN(3)]
+				}
+				if rsrc.Float64() < 0.7 {
+					commission = drawYoungCommission(rsrc, cfg.ObservationDays)
+				}
+			case S4:
+				if rsrc.Float64() < 0.7 {
+					power = []float64{6, 7, 8, 9}[rsrc.IntN(4)]
+				}
+			}
+			fleet.Racks = append(fleet.Racks, Rack{
+				ID:             len(fleet.Racks),
+				Name:           fmt.Sprintf("%s-R%03d", dc.Name, i+1),
+				DC:             dc.Index,
+				Region:         region,
+				Row:            row,
+				SKU:            sku,
+				Workload:       wl,
+				PowerKW:        power,
+				CommissionDay:  commission,
+				Servers:        spec.ServersPerRack,
+				DisksPerServer: spec.DisksPerServer,
+				DIMMsPerServer: spec.DIMMsPerServer,
+			})
+		}
+	}
+	return fleet, nil
+}
+
+// regionOfRow maps a row to its region by even partitioning.
+func regionOfRow(dc DCSpec, row int) int {
+	per := (dc.Rows + dc.Regions - 1) / dc.Regions
+	r := row / per
+	if r >= dc.Regions {
+		r = dc.Regions - 1
+	}
+	return r
+}
+
+// rowInRegion picks a random row belonging to the region.
+func rowInRegion(dc DCSpec, region int, src *rng.Source) int {
+	per := (dc.Rows + dc.Regions - 1) / dc.Regions
+	lo := region * per
+	hi := lo + per
+	if hi > dc.Rows {
+		hi = dc.Rows
+	}
+	return lo + src.IntN(hi-lo)
+}
+
+// drawPower picks a rack power rating consistent with the SKU class:
+// compute SKUs are denser and land in the high brackets.
+func drawPower(src *rng.Source, spec SKUSpec) float64 {
+	var weights []float64
+	switch spec.Class {
+	case "compute":
+		weights = []float64{0, 0.05, 0.05, 0.1, 0.15, 0.25, 0.2, 0.2}
+	case "storage":
+		weights = []float64{0.25, 0.25, 0.2, 0.15, 0.1, 0.05, 0, 0}
+	case "hpc":
+		weights = []float64{0, 0, 0.05, 0.1, 0.2, 0.25, 0.2, 0.2}
+	default:
+		weights = []float64{0.1, 0.15, 0.15, 0.2, 0.15, 0.1, 0.1, 0.05}
+	}
+	return PowerRatings[sampleIdx(src, mustDist(weights))]
+}
+
+// drawCommission draws a commission day such that ages span 0-5 years.
+// A third of racks are commissioned inside the observation window (the
+// "new equipment" with infant-mortality visibility in Fig 9).
+func drawCommission(src *rng.Source, obsDays int) int {
+	if src.Float64() < 0.33 {
+		return src.IntN(obsDays)
+	}
+	// Before the window, but never so early that age at window end
+	// exceeds 5 years.
+	maxBefore := 5*365 - obsDays
+	if maxBefore <= 0 {
+		return src.IntN(obsDays)
+	}
+	return -src.IntN(maxBefore)
+}
+
+// drawYoungCommission draws a commission day in the most recent year of
+// the window, keeping the rack in the infant-mortality regime.
+func drawYoungCommission(src *rng.Source, obsDays int) int {
+	span := obsDays / 3
+	if span < 1 {
+		span = 1
+	}
+	return obsDays - 1 - src.IntN(span)
+}
+
+// cumulative distribution helper.
+type cdf []float64
+
+func dist(weights []float64) (cdf, error) {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("topology: negative weight %v", w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("topology: all-zero weights")
+	}
+	out := make(cdf, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		out[i] = acc
+	}
+	return out, nil
+}
+
+func mustDist(weights []float64) cdf {
+	d, err := dist(weights)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func sampleIdx(src *rng.Source, c cdf) int {
+	u := src.Float64()
+	for i, acc := range c {
+		if u <= acc {
+			return i
+		}
+	}
+	return len(c) - 1
+}
+
+// RegionName formats "DC1-1" style region labels used by Fig 2.
+func RegionName(dc, region int) string {
+	return fmt.Sprintf("DC%d-%d", dc+1, region+1)
+}
+
+// TotalServers returns the fleet server count.
+func (f *Fleet) TotalServers() int {
+	n := 0
+	for i := range f.Racks {
+		n += f.Racks[i].Servers
+	}
+	return n
+}
+
+// RacksOf returns the racks hosting the given workload.
+func (f *Fleet) RacksOf(w Workload) []*Rack {
+	var out []*Rack
+	for i := range f.Racks {
+		if f.Racks[i].Workload == w {
+			out = append(out, &f.Racks[i])
+		}
+	}
+	return out
+}

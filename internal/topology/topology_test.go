@@ -1,0 +1,245 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"rainshine/internal/rng"
+)
+
+func buildFleet(t *testing.T) *Fleet {
+	t.Helper()
+	f, err := Build(rng.New(rng.DefaultSeed), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestBuildCounts(t *testing.T) {
+	f := buildFleet(t)
+	if len(f.DCs) != 2 {
+		t.Fatalf("DCs = %d", len(f.DCs))
+	}
+	if f.DCs[0].Racks != 331 || f.DCs[1].Racks != 290 {
+		t.Errorf("rack specs = %d, %d", f.DCs[0].Racks, f.DCs[1].Racks)
+	}
+	if len(f.Racks) != 331+290 {
+		t.Errorf("total racks = %d", len(f.Racks))
+	}
+	counts := [2]int{}
+	for i := range f.Racks {
+		counts[f.Racks[i].DC]++
+	}
+	if counts[0] != 331 || counts[1] != 290 {
+		t.Errorf("per-DC racks = %v", counts)
+	}
+	if f.TotalServers() < 10000 {
+		t.Errorf("TotalServers = %d, want tens of thousands", f.TotalServers())
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := buildFleet(t)
+	b := buildFleet(t)
+	for i := range a.Racks {
+		if a.Racks[i] != b.Racks[i] {
+			t.Fatalf("rack %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestRackFieldsValid(t *testing.T) {
+	f := buildFleet(t)
+	powerSet := map[float64]bool{}
+	for _, p := range PowerRatings {
+		powerSet[p] = true
+	}
+	for i := range f.Racks {
+		r := &f.Racks[i]
+		if r.ID != i {
+			t.Fatalf("rack %d ID = %d", i, r.ID)
+		}
+		dc := f.DCs[r.DC]
+		if r.Region < 0 || r.Region >= dc.Regions {
+			t.Fatalf("rack %s region %d out of range", r.Name, r.Region)
+		}
+		if r.Row < 0 || r.Row >= dc.Rows {
+			t.Fatalf("rack %s row %d out of range", r.Name, r.Row)
+		}
+		if r.SKU < 0 || r.SKU >= NumSKUs {
+			t.Fatalf("rack %s SKU %d", r.Name, r.SKU)
+		}
+		if r.Workload < 0 || r.Workload >= NumWorkloads {
+			t.Fatalf("rack %s workload %d", r.Name, r.Workload)
+		}
+		if !powerSet[r.PowerKW] {
+			t.Fatalf("rack %s power %v not in catalog", r.Name, r.PowerKW)
+		}
+		if r.Servers <= 0 || r.DisksPerServer <= 0 || r.DIMMsPerServer <= 0 {
+			t.Fatalf("rack %s has empty hardware", r.Name)
+		}
+		// Ages must lie within 0-5 years over the window (Table III).
+		age := r.AgeMonths(930)
+		if age < 0 || age > 12*5+1 {
+			t.Fatalf("rack %s age %v months out of [0,61]", r.Name, age)
+		}
+		if !strings.HasPrefix(r.Name, dc.Name+"-R") {
+			t.Fatalf("rack name %q does not match DC %s", r.Name, dc.Name)
+		}
+	}
+}
+
+func TestSKUWorkloadAffinity(t *testing.T) {
+	f := buildFleet(t)
+	// Storage-data workloads (W5, W6) must be hosted on storage SKUs
+	// (S1, S3) predominantly.
+	storageOnStorage, storageTotal := 0, 0
+	for i := range f.Racks {
+		r := &f.Racks[i]
+		if r.Workload == W5 || r.Workload == W6 {
+			storageTotal++
+			if r.SKU == S1 || r.SKU == S3 {
+				storageOnStorage++
+			}
+		}
+	}
+	if storageTotal == 0 {
+		t.Fatal("no storage racks at all")
+	}
+	if frac := float64(storageOnStorage) / float64(storageTotal); frac < 0.7 {
+		t.Errorf("storage workloads on storage SKUs = %.2f, want >= 0.7", frac)
+	}
+	// HPC (W3) on S7.
+	hpcOnS7, hpcTotal := 0, 0
+	for i := range f.Racks {
+		if f.Racks[i].Workload == W3 {
+			hpcTotal++
+			if f.Racks[i].SKU == S7 {
+				hpcOnS7++
+			}
+		}
+	}
+	if hpcTotal > 0 && float64(hpcOnS7)/float64(hpcTotal) < 0.7 {
+		t.Errorf("HPC on S7 fraction too low: %d/%d", hpcOnS7, hpcTotal)
+	}
+}
+
+func TestS2ConfoundingPlanted(t *testing.T) {
+	f := buildFleet(t)
+	// S2 racks in DC1 must be concentrated in region 0 with high power:
+	// this is the confounding Q2's MF analysis must undo.
+	inRegion0, total := 0, 0
+	var powerSum float64
+	for i := range f.Racks {
+		r := &f.Racks[i]
+		if r.SKU == S2 && r.DC == 0 {
+			total++
+			powerSum += r.PowerKW
+			if r.Region == 0 {
+				inRegion0++
+			}
+		}
+	}
+	if total < 10 {
+		t.Fatalf("only %d S2 racks in DC1", total)
+	}
+	if frac := float64(inRegion0) / float64(total); frac < 0.35 {
+		t.Errorf("S2@DC1 region-0 fraction = %.2f, want >= 0.35 (0.4 planted + 0.25 natural)", frac)
+	}
+	if avg := powerSum / float64(total); avg < 10 {
+		t.Errorf("S2@DC1 mean power = %.1f kW, want high (>10)", avg)
+	}
+}
+
+func TestRacksOf(t *testing.T) {
+	f := buildFleet(t)
+	w1 := f.RacksOf(W1)
+	if len(w1) == 0 {
+		t.Fatal("no W1 racks")
+	}
+	for _, r := range w1 {
+		if r.Workload != W1 {
+			t.Fatal("RacksOf returned wrong workload")
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if S1.String() != "S1" || S7.String() != "S7" {
+		t.Error("SKU.String broken")
+	}
+	if W1.String() != "W1" || W7.String() != "W7" {
+		t.Error("Workload.String broken")
+	}
+	if got := SKUNames(); len(got) != int(NumSKUs) || got[1] != "S2" {
+		t.Errorf("SKUNames = %v", got)
+	}
+	if got := WorkloadNames(); len(got) != int(NumWorkloads) || got[6] != "W7" {
+		t.Errorf("WorkloadNames = %v", got)
+	}
+	if RegionName(0, 0) != "DC1-1" || RegionName(1, 2) != "DC2-3" {
+		t.Error("RegionName broken")
+	}
+	if Adiabatic.String() != "Adiabatic" || ChilledWater.String() != "Chilled water" {
+		t.Error("Cooling.String broken")
+	}
+}
+
+func TestRackDeviceCounts(t *testing.T) {
+	r := Rack{Servers: 20, DisksPerServer: 12, DIMMsPerServer: 8}
+	if r.Disks() != 240 || r.DIMMs() != 160 {
+		t.Errorf("Disks/DIMMs = %d/%d", r.Disks(), r.DIMMs())
+	}
+}
+
+func TestAgeMonths(t *testing.T) {
+	r := Rack{CommissionDay: -300}
+	if got := r.AgeMonths(0); got != 10 {
+		t.Errorf("AgeMonths = %v, want 10", got)
+	}
+	if got := r.AgeMonths(300); got != 20 {
+		t.Errorf("AgeMonths = %v, want 20", got)
+	}
+}
+
+func TestSmallFleetOverride(t *testing.T) {
+	f, err := Build(rng.New(1), Config{RacksPerDC: [2]int{10, 8}, ObservationDays: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Racks) != 18 {
+		t.Errorf("override racks = %d", len(f.Racks))
+	}
+}
+
+func TestRegionOfRowCoversAllRegions(t *testing.T) {
+	for _, dc := range DefaultDCs() {
+		seen := map[int]bool{}
+		for row := 0; row < dc.Rows; row++ {
+			seen[regionOfRow(dc, row)] = true
+		}
+		if len(seen) != dc.Regions {
+			t.Errorf("%s rows cover %d regions, want %d", dc.Name, len(seen), dc.Regions)
+		}
+	}
+}
+
+func TestSKUCatalogShape(t *testing.T) {
+	cat := SKUCatalog()
+	if len(cat) != int(NumSKUs) {
+		t.Fatalf("catalog size = %d", len(cat))
+	}
+	for i, s := range cat {
+		if s.SKU != SKU(i) {
+			t.Errorf("catalog[%d].SKU = %v", i, s.SKU)
+		}
+	}
+	// Compute SKUs: many servers, few disks; storage: the reverse.
+	if cat[S2].ServersPerRack <= 40 || cat[S2].DisksPerServer > 4 {
+		t.Errorf("S2 spec = %+v", cat[S2])
+	}
+	if cat[S1].ServersPerRack > 25 || cat[S1].DisksPerServer < 10 {
+		t.Errorf("S1 spec = %+v", cat[S1])
+	}
+}

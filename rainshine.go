@@ -1,0 +1,456 @@
+// Package rainshine reproduces "Rain or Shine? — Making Sense of Cloudy
+// Reliability Data" (Narayanan et al., ICDCS 2017): a multi-factor
+// analysis framework for datacenter failure data, together with the
+// synthetic two-datacenter telemetry substrate the analyses run on.
+//
+// A Study wraps one simulated observation window over the two-DC fleet.
+// From it you can regenerate every table and figure of the paper's
+// evaluation, or run the three decision analyses directly:
+//
+//	study, err := rainshine.NewStudy()            // full 2.5-year window
+//	q1, err := study.SpareProvisioning(rainshine.W6, false)
+//	q2, err := study.VendorComparison(1.0, 1.5)
+//	q3, err := study.ClimateGuidance()
+//
+// Determinism: every Study is a pure function of its seed; the default
+// seed regenerates the exact numbers recorded in EXPERIMENTS.md.
+package rainshine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"rainshine/internal/bms"
+	"rainshine/internal/cart"
+	"rainshine/internal/envan"
+	"rainshine/internal/export"
+	"rainshine/internal/figures"
+	"rainshine/internal/metrics"
+	"rainshine/internal/predict"
+	"rainshine/internal/provision"
+	"rainshine/internal/repair"
+	"rainshine/internal/rng"
+	"rainshine/internal/simulate"
+	"rainshine/internal/skucmp"
+	"rainshine/internal/tco"
+	"rainshine/internal/ticket"
+	"rainshine/internal/topology"
+)
+
+// Workload identifies a hosted workload category (W1-W7, Table III).
+type Workload = topology.Workload
+
+// Workload constants re-exported for callers.
+const (
+	W1 = topology.W1
+	W2 = topology.W2
+	W3 = topology.W3
+	W4 = topology.W4
+	W5 = topology.W5
+	W6 = topology.W6
+	W7 = topology.W7
+)
+
+// SKU identifies a server configuration (S1-S7, Table III).
+type SKU = topology.SKU
+
+// SKU constants re-exported for callers.
+const (
+	S1 = topology.S1
+	S2 = topology.S2
+	S3 = topology.S3
+	S4 = topology.S4
+	S5 = topology.S5
+	S6 = topology.S6
+	S7 = topology.S7
+)
+
+// Option configures a Study.
+type Option func(*simulate.Config)
+
+// WithSeed sets the root random seed (default rng.DefaultSeed).
+func WithSeed(seed uint64) Option {
+	return func(c *simulate.Config) { c.Seed = seed }
+}
+
+// WithDays sets the observation window length in days (default 930,
+// ~2.5 years as in the paper).
+func WithDays(days int) Option {
+	return func(c *simulate.Config) { c.Days = days }
+}
+
+// WithRacks overrides the per-DC rack counts (default 331 and 290,
+// Table I). Use smaller fleets for fast experiments.
+func WithRacks(dc1, dc2 int) Option {
+	return func(c *simulate.Config) { c.Topology.RacksPerDC = [2]int{dc1, dc2} }
+}
+
+// WithoutSoftwareTickets suppresses non-hardware ticket synthesis; only
+// Table II needs them.
+func WithoutSoftwareTickets() Option {
+	return func(c *simulate.Config) { c.SkipNonHardware = true }
+}
+
+// Study is one simulated observation window plus cached analyses.
+type Study struct {
+	data *figures.Data
+}
+
+// NewStudy simulates the fleet and returns a Study.
+func NewStudy(opts ...Option) (*Study, error) {
+	cfg := simulate.Config{Seed: rng.DefaultSeed}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d, err := figures.NewData(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("rainshine: %w", err)
+	}
+	return &Study{data: d}, nil
+}
+
+// Figures exposes the per-table/figure regenerators (internal/figures).
+// The CLI, benchmarks, and EXPERIMENTS.md are all built on this.
+func (s *Study) Figures() *figures.Data { return s.data }
+
+// Tickets returns the study's full RMA ticket stream (including false
+// positives, which analyses filter).
+func (s *Study) Tickets() []ticket.Ticket { return s.data.Res.Tickets }
+
+// NumServers returns the fleet's server count.
+func (s *Study) NumServers() int { return s.data.Res.Fleet.TotalServers() }
+
+// NumRacks returns the fleet's rack count.
+func (s *Study) NumRacks() int { return len(s.data.Res.Fleet.Racks) }
+
+// Days returns the observation window length.
+func (s *Study) Days() int { return s.data.Res.Days }
+
+// SpareReport answers Q1 for one workload: the over-provisioned capacity
+// each approach needs per SLA, the TCO savings of MF over SF, and the MF
+// clusters with their defining factor conditions.
+type SpareReport struct {
+	Workload    string
+	Granularity string
+	SLAs        []float64
+	// OverprovPct[approach][i] is percent capacity over-provisioned at
+	// SLAs[i]; approaches are "LB", "MF", "SF".
+	OverprovPct map[string][]float64
+	// TCOSavingsPct[i] is the relative TCO savings of MF over SF.
+	TCOSavingsPct []float64
+	// Clusters describes each MF rack group: its defining conditions
+	// and its spare requirement.
+	Clusters []ClusterInfo
+	// FactorRanking orders the factors by their importance in forming
+	// the clusters.
+	FactorRanking []string
+}
+
+// ClusterInfo describes one MF rack cluster.
+type ClusterInfo struct {
+	Racks      int
+	Conditions string
+	// ReqPct is the spare fraction (percent) this cluster provisions at
+	// 100% availability.
+	ReqPct float64
+}
+
+// SpareProvisioning runs Q1-A for the workload at daily or hourly
+// granularity.
+func (s *Study) SpareProvisioning(wl Workload, hourly bool) (*SpareReport, error) {
+	g := metrics.Daily
+	if hourly {
+		g = metrics.Hourly
+	}
+	sl, err := provision.AnalyzeServerLevel(s.data.Res, wl, g, nil)
+	if err != nil {
+		return nil, err
+	}
+	savings, err := sl.TCOSavings(tco.Default())
+	if err != nil {
+		return nil, err
+	}
+	rep := &SpareReport{
+		Workload:    wl.String(),
+		Granularity: g.String(),
+		SLAs:        sl.SLAs,
+		OverprovPct: map[string][]float64{},
+	}
+	for _, a := range []provision.Approach{provision.LB, provision.MF, provision.SF} {
+		pct := make([]float64, len(sl.SLAs))
+		for i, v := range sl.Overprov[a] {
+			pct[i] = 100 * v
+		}
+		rep.OverprovPct[a.String()] = pct
+	}
+	for _, v := range savings {
+		rep.TCOSavingsPct = append(rep.TCOSavingsPct, 100*v)
+	}
+	if sl.Clustering != nil {
+		rep.FactorRanking = sl.Clustering.Tree.RankedFeatures()
+		for ci, members := range sl.Clustering.Members {
+			cond, err := sl.Clustering.Describe(ci)
+			if err != nil {
+				return nil, err
+			}
+			req := 0.0
+			for _, f := range sl.ClusterFractions[ci] {
+				if f > req {
+					req = f
+				}
+			}
+			rep.Clusters = append(rep.Clusters, ClusterInfo{
+				Racks:      len(members),
+				Conditions: cond,
+				ReqPct:     100 * req,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// VendorReport answers Q2: the SF and MF views of the S2-vs-S4 contrast
+// and the procurement verdicts at each price ratio.
+type VendorReport struct {
+	// RatioSF and RatioMF are the S2:S4 average-failure-rate ratios the
+	// two approaches estimate (paper: ~10x vs ~4x).
+	RatioSF float64
+	RatioMF float64
+	// Verdicts hold the TCO savings of procuring S4 instead of S2, per
+	// price ratio, under each approach's failure estimates.
+	Verdicts []skucmp.Verdict
+	// PValue is the two-sided paired-test p-value for the adjusted
+	// S2-vs-S4 contrast across covariate strata (the paper's confidence
+	// check); Strata is the number of strata observing both SKUs.
+	PValue float64
+	Strata int
+}
+
+// VendorComparison runs Q2 for the paper's two compute SKUs at the given
+// S4:S2 price ratios (the paper evaluates 1.0 and 1.5).
+func (s *Study) VendorComparison(priceRatios ...float64) (*VendorReport, error) {
+	if len(priceRatios) == 0 {
+		priceRatios = []float64{1.0, 1.5}
+	}
+	f, err := s.data.RackDays()
+	if err != nil {
+		return nil, err
+	}
+	pair := []topology.SKU{topology.S2, topology.S4}
+	sf, err := skucmp.AnalyzeSF(f, pair)
+	if err != nil {
+		return nil, err
+	}
+	mf, err := skucmp.AnalyzeMF(f, pair)
+	if err != nil {
+		return nil, err
+	}
+	pick := func(ss []skucmp.Stats, sku string) (skucmp.Stats, error) {
+		for _, st := range ss {
+			if st.SKU == sku {
+				return st, nil
+			}
+		}
+		return skucmp.Stats{}, fmt.Errorf("rainshine: no stats for %s", sku)
+	}
+	sfS2, err := pick(sf, "S2")
+	if err != nil {
+		return nil, err
+	}
+	sfS4, err := pick(sf, "S4")
+	if err != nil {
+		return nil, err
+	}
+	mfS2, err := pick(mf, "S2")
+	if err != nil {
+		return nil, err
+	}
+	mfS4, err := pick(mf, "S4")
+	if err != nil {
+		return nil, err
+	}
+	if sfS4.Avg == 0 || mfS4.Avg == 0 {
+		return nil, errors.New("rainshine: degenerate S4 rate; fleet too small")
+	}
+	servers := topology.SKUCatalog()[topology.S2].ServersPerRack
+	verdicts, err := skucmp.CompareTCO(sfS2, sfS4, mfS2, mfS4, servers, priceRatios, tco.Default(), 3)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := skucmp.MFSignificance(f, topology.S2, topology.S4)
+	if err != nil {
+		return nil, err
+	}
+	return &VendorReport{
+		RatioSF:  sfS2.Avg / sfS4.Avg,
+		RatioMF:  mfS2.Avg / mfS4.Avg,
+		Verdicts: verdicts,
+		PValue:   sig.PairedT,
+		Strata:   sig.Strata,
+	}, nil
+}
+
+// PoolingAnalysis quantifies Section II's shared-vs-dedicated spare
+// pool question: total spares needed at 100% availability when pools are
+// shared at each scope from per-rack to globally.
+func (s *Study) PoolingAnalysis(hourly bool) ([]provision.PoolRequirement, error) {
+	g := metrics.Daily
+	if hourly {
+		g = metrics.Hourly
+	}
+	return provision.AnalyzePooling(s.data.Res, g)
+}
+
+// RepairPolicy compares replace-vs-service economics per component class
+// (Section II's OpEx question) over this study's failure stream.
+func (s *Study) RepairPolicy() ([]repair.Recommendation, error) {
+	return repair.Compare(s.data.Res, tco.Default(), repair.Params{}, s.data.Res.Cfg.Seed)
+}
+
+// ExportRackDaysCSV writes the study's rack-day analysis table as CSV —
+// the shape AnalyzeClimateCSV (and external tools) consume.
+func (s *Study) ExportRackDaysCSV(w io.Writer) error {
+	f, err := s.data.RackDays()
+	if err != nil {
+		return err
+	}
+	return export.FrameCSV(w, f)
+}
+
+// ExportTicketsCSV writes the study's RMA ticket stream as CSV.
+func (s *Study) ExportTicketsCSV(w io.Writer) error {
+	return export.TicketsCSV(w, s.Tickets())
+}
+
+// AnalyzeClimateCSV runs the Q3 multi-factor environmental analysis on
+// an external rack-day table (CSV with the columns `rainshine export
+// rackdays` produces — operators can substitute their own telemetry in
+// that shape). This is the bring-your-own-data path: none of the
+// simulator is involved.
+func AnalyzeClimateCSV(r io.Reader) (*ClimateReport, error) {
+	f, err := export.ReadFrameCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	res, err := envan.Analyze(f, cart.Config{})
+	if err != nil {
+		return nil, err
+	}
+	rep := &ClimateReport{
+		TempThresholdF: res.Thresholds.TempF,
+		RHThreshold:    res.Thresholds.RH,
+		HotPenalty:     map[string]float64{},
+		DryPenalty:     map[string]float64{},
+		Tree:           res.Tree,
+	}
+	fillPenalties(rep, res)
+	return rep, nil
+}
+
+// fillPenalties populates the per-DC hot/dry penalty ratios from the
+// grouped rates, requiring minimal exposure in each regime.
+func fillPenalties(rep *ClimateReport, res *envan.Result) {
+	const minExposure = 30
+	for _, g := range res.Groups {
+		if g.Cool.N >= minExposure && g.Cool.Mean > 0 && g.Hot.N >= minExposure {
+			rep.HotPenalty[g.DC] = g.Hot.Mean / g.Cool.Mean
+		}
+		if g.Hot.N >= minExposure && g.Hot.Mean > 0 && g.HotDry.N >= minExposure {
+			rep.DryPenalty[g.DC] = g.HotDry.Mean / g.Hot.Mean
+		}
+	}
+}
+
+// EnvironmentAlarms scans the study's climate telemetry against the
+// default BMS envelope and returns per-DC alarm summaries (Section IV's
+// building management system behaviour).
+func (s *Study) EnvironmentAlarms() ([]bms.Summary, error) {
+	res := s.data.Res
+	alarms, err := bms.Scan(res.Climate, res.Fleet, bms.DefaultThresholds())
+	if err != nil {
+		return nil, err
+	}
+	return bms.Summarize(alarms, res.Fleet, res.Days), nil
+}
+
+// PredictionReport is the outcome of the failure-prediction extension
+// (the paper's Section VII future work): a rack-day failure classifier
+// trained on the first part of the window and evaluated on the rest.
+type PredictionReport struct {
+	// Precision, Recall, F1, Accuracy, AUC evaluate the alarm quality
+	// on the held-out time range.
+	Precision, Recall, F1, Accuracy, AUC float64
+	// PositiveRate is the test-split base rate of failure rack-days.
+	PositiveRate float64
+	// TopFactors ranks the predictive factors.
+	TopFactors []string
+	// TrainRows and TestRows size the time-ordered split.
+	TrainRows, TestRows int
+}
+
+// FailurePrediction trains and evaluates the rack-day failure predictor
+// on this study's telemetry.
+func (s *Study) FailurePrediction() (*PredictionReport, error) {
+	f, err := s.data.RackDays()
+	if err != nil {
+		return nil, err
+	}
+	res, err := predict.Train(f, predict.Config{Balance: true})
+	if err != nil {
+		return nil, err
+	}
+	m := res.Metrics
+	return &PredictionReport{
+		Precision:    m.Precision,
+		Recall:       m.Recall,
+		F1:           m.F1,
+		Accuracy:     m.Accuracy,
+		AUC:          m.AUC,
+		PositiveRate: m.PositiveRate,
+		TopFactors:   res.Tree.RankedFeatures(),
+		TrainRows:    res.TrainRows,
+		TestRows:     res.TestRows,
+	}, nil
+}
+
+// ClimateReport answers Q3: the set-point thresholds the MF tree found
+// and the failure-rate penalty of operating outside them, per DC.
+type ClimateReport struct {
+	// TempThresholdF is the discovered temperature split (paper: 78 F).
+	TempThresholdF float64
+	// RHThreshold is the humidity split inside the hot regime (paper: 25%).
+	RHThreshold float64
+	// HotPenalty[dc] is the multiplicative disk-failure increase above
+	// the temperature threshold (paper DC1: ~1.5x; DC2: ~1x).
+	HotPenalty map[string]float64
+	// DryPenalty[dc] is the further increase when also below the RH
+	// threshold (paper DC1: ~1.25x).
+	DryPenalty map[string]float64
+	// Tree is the fitted MF model for inspection.
+	Tree *cart.Tree
+}
+
+// ClimateGuidance runs Q3 over the study's rack-day data.
+func (s *Study) ClimateGuidance() (*ClimateReport, error) {
+	f, err := s.data.RackDays()
+	if err != nil {
+		return nil, err
+	}
+	res, err := envan.Analyze(f, cart.Config{})
+	if err != nil {
+		return nil, err
+	}
+	rep := &ClimateReport{
+		TempThresholdF: res.Thresholds.TempF,
+		RHThreshold:    res.Thresholds.RH,
+		HotPenalty:     map[string]float64{},
+		DryPenalty:     map[string]float64{},
+		Tree:           res.Tree,
+	}
+	// Penalties are only meaningful with enough exposure in each regime;
+	// DC2's chilled-water plant rarely strays above the threshold at all,
+	// which is itself the Fig 18 finding (no entry = insensitive).
+	fillPenalties(rep, res)
+	return rep, nil
+}
