@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/simulate/ ./internal/figures/ .
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -42,6 +42,8 @@ examples:
 
 fuzz:
 	$(GO) test -fuzz FuzzReadFrameCSV -fuzztime 30s ./internal/export/
+	$(GO) test -fuzz FuzzTicketsCSVRoundTrip -fuzztime 30s ./internal/export/
+	$(GO) test -fuzz FuzzIngestTickets -fuzztime 30s ./internal/ingest/
 	$(GO) test -fuzz FuzzQuantile -fuzztime 30s ./internal/stats/
 	$(GO) test -fuzz FuzzChiSquareCDF -fuzztime 30s ./internal/stats/
 

@@ -14,6 +14,7 @@
 //	q2                 vendor/SKU comparison with TCO verdicts
 //	q3                 environmental set-point guidance
 //	predict            rack-day failure prediction (future-work extension)
+//	quality            DataQuality report: coverage and per-class defect counts
 //	export <what>      dump traces to stdout: tickets (CSV), events (JSONL),
 //	                   rackdays (CSV analysis table)
 //	ablate             MF design-choice ablations (feature subsets, cluster budget, cp)
@@ -30,6 +31,8 @@
 //	-racks A,B  rack counts for DC1,DC2 (default 331,290)
 //	-small      shorthand for a fast reduced study (-days 365 -racks 120,100)
 //	-hourly     use hourly provisioning granularity for q1
+//	-faults     dirty-data mode: inject the default deterministic fault mix
+//	            into the recorded telemetry and scrub it through ingest
 package main
 
 import (
@@ -58,6 +61,7 @@ func run(args []string) error {
 	racks := fs.String("racks", "", "rack counts dc1,dc2 (default paper-scale 331,290)")
 	small := fs.Bool("small", false, "fast reduced study")
 	hourly := fs.Bool("hourly", false, "hourly granularity for q1")
+	dirty := fs.Bool("faults", false, "inject the default deterministic fault mix (dirty-data mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +74,9 @@ func run(args []string) error {
 	opts := []rainshine.Option{rainshine.WithSeed(*seed), rainshine.WithDays(*days)}
 	if *small {
 		opts = append(opts, rainshine.WithDays(365), rainshine.WithRacks(120, 100))
+	}
+	if *dirty {
+		opts = append(opts, rainshine.WithFaults(rainshine.DefaultFaults()))
 	}
 	if *racks != "" {
 		parts := strings.Split(*racks, ",")
@@ -140,6 +147,8 @@ func run(args []string) error {
 		return r.q3()
 	case "predict":
 		return r.predict()
+	case "quality":
+		return r.quality()
 	case "export":
 		if len(rest) < 2 {
 			return fmt.Errorf("export wants tickets|events|rackdays")
@@ -182,6 +191,12 @@ func analyzeClimateCSV(path string, out io.Writer) error {
 	}
 	for dc, hot := range rep.HotPenalty {
 		fmt.Fprintf(out, "  %s: disk failure rate x%.2f above the knee\n", dc, hot)
+	}
+	if rep.DataCoverage < 1 {
+		fmt.Fprintf(out, "  cell coverage: %.2f%% (non-finite cells excluded per split)\n", 100*rep.DataCoverage)
+	}
+	if len(rep.MissingFeatures) > 0 {
+		fmt.Fprintf(out, "  absent factors (analysis degraded): %s\n", strings.Join(rep.MissingFeatures, ", "))
 	}
 	return nil
 }

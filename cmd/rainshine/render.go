@@ -8,6 +8,7 @@ import (
 	"rainshine/internal/export"
 	"rainshine/internal/failure"
 	"rainshine/internal/figures"
+	"rainshine/internal/ingest"
 	"rainshine/internal/metrics"
 	"rainshine/internal/textplot"
 	"rainshine/internal/ticket"
@@ -306,6 +307,33 @@ func (r *renderer) q3() error {
 	return nil
 }
 
+// quality renders the DataQuality report: ticket and sensor coverage
+// plus per-defect-class quarantine/repair counts.
+func (r *renderer) quality() error {
+	q, err := r.study.Quality()
+	if err != nil {
+		return err
+	}
+	r.printf("Data quality\n")
+	r.printf("  tickets: %d recorded, %d kept (%.2f%% coverage)\n",
+		q.TicketsIn, q.TicketsKept, 100*q.TicketCoverage())
+	r.printf("  sensors: %d rack-day samples: %d native, %d imputed, %d missing (%.2f%% usable)\n",
+		q.SensorSamples, q.SensorNative, q.SensorImputed, q.SensorMissing, 100*q.SensorCoverage())
+	if q.Clean() {
+		r.printf("  no defects detected\n")
+		return nil
+	}
+	r.printf("  defects by class (quarantined / repaired):\n")
+	for c := ingest.Class(0); c < ingest.NumClasses; c++ {
+		if q.Quarantined[c] == 0 && q.Repaired[c] == 0 {
+			continue
+		}
+		r.printf("    %-22s %6d / %6d\n", c.String(), q.Quarantined[c], q.Repaired[c])
+	}
+	r.printf("  effective coverage: %.2f%%\n", 100*q.Coverage())
+	return nil
+}
+
 func (r *renderer) predict() error {
 	rep, err := r.study.FailurePrediction()
 	if err != nil {
@@ -328,11 +356,8 @@ func (r *renderer) export(what string) error {
 	case "events":
 		return export.EventsJSONL(r.out, d.Res.Events)
 	case "rackdays":
-		f, err := d.RackDays()
-		if err != nil {
-			return err
-		}
-		return export.FrameCSV(r.out, f)
+		// Via the facade so dirty-data mode exports its lossy table.
+		return r.study.ExportRackDaysCSV(r.out)
 	default:
 		return fmt.Errorf("unknown export target %q (want tickets|events|rackdays)", what)
 	}

@@ -7,6 +7,7 @@ package bms
 
 import (
 	"fmt"
+	"math"
 
 	"rainshine/internal/climate"
 	"rainshine/internal/topology"
@@ -79,13 +80,18 @@ func Scan(clim *climate.Model, fleet *topology.Fleet, th Thresholds) ([]Alarm, e
 			if err != nil {
 				return nil, err
 			}
+			// A non-finite reading is a failed sensor, not an
+			// excursion: alarming on it would page operators for
+			// telemetry loss the ingest pipeline already reports.
 			switch {
+			case math.IsNaN(c.TempF) || math.IsInf(c.TempF, 0):
 			case c.TempF > th.TempHighF:
 				alarms = append(alarms, Alarm{Rack: ri, Day: d, Kind: Temperature, Value: c.TempF, High: true})
 			case c.TempF < th.TempLowF:
 				alarms = append(alarms, Alarm{Rack: ri, Day: d, Kind: Temperature, Value: c.TempF})
 			}
 			switch {
+			case math.IsNaN(c.RH) || math.IsInf(c.RH, 0):
 			case c.RH > th.RHHigh:
 				alarms = append(alarms, Alarm{Rack: ri, Day: d, Kind: Humidity, Value: c.RH, High: true})
 			case c.RH < th.RHLow:

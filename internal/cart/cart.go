@@ -9,6 +9,10 @@
 //   - continuous, ordinal, and nominal features; nominal splits use the
 //     optimal category-ordering theorem (sort categories by mean response
 //     and scan, which is exact for regression and two-class problems);
+//   - missing-value tolerance: non-finite feature cells are treated as
+//     missing — splits are searched over available cases only, and
+//     missing rows follow the majority child (rpart's surrogate-free
+//     fallback), at training and prediction time alike;
 //   - stopping rules (max depth, minimum node/leaf sizes, minimum
 //     relative improvement, mirroring rpart's cp);
 //   - weakest-link cost-complexity pruning;
@@ -170,11 +174,8 @@ func Fit(f *frame.Frame, target string, features []string, cfg Config) (*Tree, e
 		if name == target {
 			return nil, fmt.Errorf("cart: target %q used as feature", name)
 		}
-		for r, v := range c.Data {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("cart: non-finite value in feature %q row %d", name, r)
-			}
-		}
+		// Non-finite feature cells are legal: they are missing values,
+		// handled by available-case splitting and majority-side routing.
 		cols[i] = c.Data
 		t.Features = append(t.Features, Feature{Name: name, Kind: c.Kind, Levels: c.Levels})
 	}
@@ -264,26 +265,44 @@ func (b *builder) grow(n *Node, idx []int, depth int) {
 	n.LeftSet = sp.leftSet
 	b.tree.importanceRaw[sp.feature] += sp.gain
 
-	left, right := b.partition(n, idx)
+	left, right, missing := b.partition(n, idx)
 	n.DefaultLeft = len(left) >= len(right)
+	// Rows missing the split feature follow the majority child, the
+	// same route unseen values take at prediction time.
+	if n.DefaultLeft {
+		left = append(left, missing...)
+	} else {
+		right = append(right, missing...)
+	}
 	n.Left = b.node(left)
 	n.Right = b.node(right)
 	b.grow(n.Left, left, depth+1)
 	b.grow(n.Right, right, depth+1)
 }
 
-// partition routes idx rows through node n's split.
-func (b *builder) partition(n *Node, idx []int) (left, right []int) {
+// partition routes idx rows through node n's split; rows with a missing
+// split value are returned separately for majority-side assignment.
+func (b *builder) partition(n *Node, idx []int) (left, right, missing []int) {
 	feat := b.tree.Features[n.Feature]
 	col := b.cols[n.Feature]
 	for _, r := range idx {
-		if routeLeft(feat.Kind, n, col[r]) {
+		v := col[r]
+		if !isFinite(v) {
+			missing = append(missing, r)
+			continue
+		}
+		if routeLeft(feat.Kind, n, v) {
 			left = append(left, r)
 		} else {
 			right = append(right, r)
 		}
 	}
-	return left, right
+	return left, right, missing
+}
+
+// isFinite reports whether a feature cell carries a usable value.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 func routeLeft(kind frame.Kind, n *Node, v float64) bool {
@@ -319,9 +338,18 @@ func (b *builder) bestSplit(idx []int) split {
 }
 
 // bestNumericSplit scans sorted values of a continuous/ordinal feature.
+// Missing cells are excluded from the scan (available-case splitting).
 func (b *builder) bestNumericSplit(fi int, idx []int) (split, bool) {
 	col := b.cols[fi]
-	sorted := append([]int(nil), idx...)
+	sorted := make([]int, 0, len(idx))
+	for _, r := range idx {
+		if isFinite(col[r]) {
+			sorted = append(sorted, r)
+		}
+	}
+	if len(sorted) < 2*b.cfg.MinLeaf || len(sorted) < 2 {
+		return split{}, false
+	}
 	sort.Slice(sorted, func(a, c int) bool { return col[sorted[a]] < col[sorted[c]] })
 
 	parentImp := 0.0
@@ -422,6 +450,24 @@ func giniFromLeft(left, total []float64, nl, nr float64) float64 {
 // (Breiman et al., Thm 4.5); for multiclass it is a standard heuristic.
 func (b *builder) bestNominalSplit(fi int, idx []int) (split, bool) {
 	col := b.cols[fi]
+	// Available-case filtering: rows missing this feature sit out the
+	// search and follow the majority child at partition time.
+	avail := idx
+	for _, r := range idx {
+		if !isFinite(col[r]) {
+			avail = make([]int, 0, len(idx))
+			for _, r2 := range idx {
+				if isFinite(col[r2]) {
+					avail = append(avail, r2)
+				}
+			}
+			break
+		}
+	}
+	idx = avail
+	if len(idx) < 2*b.cfg.MinLeaf || len(idx) < 2 {
+		return split{}, false
+	}
 	nLevels := len(b.tree.Features[fi].Levels)
 	counts := make([]int, nLevels)
 	score := make([]float64, nLevels) // order key per category
@@ -586,14 +632,19 @@ func (t *Tree) leafFor(x []float64) *Node {
 		feat := t.Features[n.Feature]
 		v := x[n.Feature]
 		var goLeft bool
-		if feat.Kind == frame.Nominal {
+		switch {
+		case !isFinite(v):
+			// Missing value: follow the majority child, mirroring the
+			// training-time assignment.
+			goLeft = n.DefaultLeft
+		case feat.Kind == frame.Nominal:
 			c := int(v)
 			if c < 0 || c >= len(feat.Levels) {
 				goLeft = n.DefaultLeft
 			} else {
 				goLeft = n.inLeftSet(c)
 			}
-		} else {
+		default:
 			goLeft = v <= n.Threshold
 		}
 		if goLeft {

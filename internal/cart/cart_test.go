@@ -157,17 +157,55 @@ func TestFitErrors(t *testing.T) {
 	}
 }
 
-func TestFitRejectsNaN(t *testing.T) {
-	f := frame.New(2)
-	if err := f.AddContinuous("x", []float64{1, math.NaN()}); err != nil {
+func TestFitToleratesMissingFeatures(t *testing.T) {
+	// NaN feature cells are missing values, not errors: the tree must
+	// fit on the available cases and still find the x threshold.
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		if i >= n/2 {
+			y[i] = 10
+		}
+		if i%10 == 3 {
+			x[i] = math.NaN() // 10% missing
+		}
+	}
+	f := frame.New(n)
+	if err := f.AddContinuous("x", x); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.AddContinuous("y", []float64{1, 2}); err != nil {
+	if err := f.AddContinuous("y", y); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Fit(f, "y", []string{"x"}, Config{Task: Regression}); err == nil {
-		t.Error("NaN feature should error")
+	tree, err := Fit(f, "y", []string{"x"}, Config{Task: Regression})
+	if err != nil {
+		t.Fatalf("fit with missing cells: %v", err)
 	}
+	root := tree.Root
+	if root.IsLeaf() {
+		t.Fatal("no split found despite clear threshold")
+	}
+	if root.Threshold < 80 || root.Threshold > 120 {
+		t.Errorf("threshold = %v, want near 100", root.Threshold)
+	}
+	// Leaf populations must cover every row: missing rows follow the
+	// majority child, none are dropped.
+	total := 0
+	for _, leaf := range tree.Leaves() {
+		total += leaf.N
+	}
+	if total != n {
+		t.Errorf("leaves cover %d rows, want %d", total, n)
+	}
+	// Prediction with a missing value routes via DefaultLeft, not panic.
+	if _, err := tree.Predict([]float64{math.NaN()}); err != nil {
+		t.Errorf("predict on missing value: %v", err)
+	}
+}
+
+func TestFitRejectsNonFiniteTarget(t *testing.T) {
 	f2 := frame.New(2)
 	if err := f2.AddContinuous("x", []float64{1, 2}); err != nil {
 		t.Fatal(err)

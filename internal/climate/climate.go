@@ -110,6 +110,27 @@ func (m *Model) At(rackID, day int) (Conditions, error) {
 // Days returns the series length.
 func (m *Model) Days() int { return m.days }
 
+// Racks returns the number of rack series in the model.
+func (m *Model) Racks() int { return m.racks }
+
+// SetAt overwrites the recorded conditions for a rack-day. This is the
+// telemetry-corruption hook: fault injection writes NaN (sensor dropout)
+// or stale values (stuck sensors) after the simulation has consumed the
+// true conditions, and ingest repair writes imputed values back. Values
+// are recorded as-is, without range clamping.
+func (m *Model) SetAt(rackID, day int, c Conditions) error {
+	if rackID < 0 || rackID >= m.racks {
+		return fmt.Errorf("climate: rack %d out of range [0,%d)", rackID, m.racks)
+	}
+	if day < 0 || day >= m.days {
+		return fmt.Errorf("climate: day %d out of range [0,%d)", day, m.days)
+	}
+	i := rackID*m.days + day
+	m.temp[i] = float32(c.TempF)
+	m.rh[i] = float32(c.RH)
+	return nil
+}
+
 // siteWeather returns outdoor (temperature °F, RH %) for a DC site on a
 // day. DC1 sits in a warm, dry continental site (adiabatic-friendly);
 // DC2 in a mild temperate one.

@@ -79,6 +79,13 @@ type Result struct {
 	EnvTree    *cart.Tree
 	Thresholds Thresholds
 	Groups     []GroupRates // one per DC
+	// DroppedFeatures lists candidate factors the frame did not carry
+	// (dirty external tables): the analysis degraded to the rest.
+	DroppedFeatures []string
+	// RowsUsed and RowsDropped account for rows excluded for a
+	// non-finite target — the effective-coverage view of the fit.
+	RowsUsed    int
+	RowsDropped int
 }
 
 // BaselineFeatures are the non-environmental factors whose influence is
@@ -103,14 +110,49 @@ func Analyze(f *frame.Frame, cfg cart.Config) (*Result, error) {
 		cfg = cart.Config{MaxDepth: 8, MinSplit: 2000, MinLeaf: 700, CP: 0.00005}
 	}
 	cfg.Task = cart.Regression
-	tree, err := cart.Fit(f, "disk_failures", MFFeatures, cfg)
+
+	// Graceful degradation for dirty external tables: the hard core is
+	// the target plus the environmental axes; any other absent factor
+	// is dropped from the candidate lists rather than failing the run.
+	for _, name := range []string{"disk_failures", "dc", "temp", "rh"} {
+		if _, err := f.Col(name); err != nil {
+			return nil, fmt.Errorf("envan: frame unusable: %w", err)
+		}
+	}
+	mfFeats, droppedMF := availableFeatures(f, MFFeatures)
+	baseFeats, droppedBase := availableFeatures(f, BaselineFeatures)
+	if len(baseFeats) == 0 {
+		return nil, errors.New("envan: no baseline features available")
+	}
+
+	// Rows without a finite target cannot inform any fit; exclude them
+	// up front and report the loss as reduced coverage.
+	target, err := f.Col("disk_failures")
+	if err != nil {
+		return nil, err
+	}
+	allRows := f.NumRows()
+	for _, v := range target.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			f = f.Filter(func(r int) bool {
+				v := target.Data[r]
+				return !math.IsNaN(v) && !math.IsInf(v, 0)
+			})
+			break
+		}
+	}
+	if f.NumRows() == 0 {
+		return nil, errors.New("envan: no rows with a finite target")
+	}
+
+	tree, err := cart.Fit(f, "disk_failures", mfFeats, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("envan: fitting tree: %w", err)
 	}
 
 	// Stage 1: baseline on non-environmental factors.
 	baseCfg := cfg
-	baseline, err := cart.Fit(f, "disk_failures", BaselineFeatures, baseCfg)
+	baseline, err := cart.Fit(f, "disk_failures", baseFeats, baseCfg)
 	if err != nil {
 		return nil, fmt.Errorf("envan: fitting baseline tree: %w", err)
 	}
@@ -176,7 +218,12 @@ func Analyze(f *frame.Frame, cfg cart.Config) (*Result, error) {
 			th.RH = r
 		}
 	}
-	res := &Result{Tree: tree, EnvTree: envTree, Thresholds: th}
+	res := &Result{
+		Tree: tree, EnvTree: envTree, Thresholds: th,
+		DroppedFeatures: mergeUnique(droppedMF, droppedBase),
+		RowsUsed:        f.NumRows(),
+		RowsDropped:     allRows - f.NumRows(),
+	}
 
 	dcCol, err := f.Col("dc")
 	if err != nil {
@@ -210,11 +257,17 @@ func Analyze(f *frame.Frame, cfg cart.Config) (*Result, error) {
 			}
 			v := diskCol.Data[r]
 			all = append(all, v)
-			if tempCol.Data[r] <= tThr {
+			temp := tempCol.Data[r]
+			if math.IsNaN(temp) || math.IsInf(temp, 0) {
+				continue // unreadable sensor: no regime attribution
+			}
+			if temp <= tThr {
 				cool = append(cool, v)
 			} else {
 				hot = append(hot, v)
-				if rhCol.Data[r] <= rThr {
+				if rh := rhCol.Data[r]; rh <= rThr {
+					// NaN rh fails the comparison and stays out of the
+					// dry regime, which is the conservative reading.
 					hotDry = append(hotDry, v)
 				}
 			}
@@ -258,12 +311,27 @@ func hotRegimeRHSplit(envFrame *frame.Frame, tempThr float64) (float64, bool) {
 	if err != nil {
 		return 0, false
 	}
-	hot := envFrame.Filter(func(r int) bool { return tempCol.Data[r] > tempThr })
+	rhAll, err := envFrame.Col("rh")
+	if err != nil {
+		return 0, false
+	}
+	// Finite-rh rows only: a NaN humidity cell cannot place a row on
+	// either side of a candidate threshold.
+	hot := envFrame.Filter(func(r int) bool {
+		return tempCol.Data[r] > tempThr && isFiniteVal(rhAll.Data[r])
+	})
 	if hot.NumRows() < 200 {
 		return 0, false
 	}
-	rh := hot.MustCol("rh").Data
-	resid := hot.MustCol("resid").Data
+	rhCol, err := hot.Col("rh")
+	if err != nil {
+		return 0, false
+	}
+	residCol, err := hot.Col("resid")
+	if err != nil {
+		return 0, false
+	}
+	rh, resid := rhCol.Data, residCol.Data
 	n := len(rh)
 	idx := make([]int, n)
 	for i := range idx {
@@ -307,6 +375,38 @@ func hotRegimeRHSplit(envFrame *frame.Frame, tempThr float64) (float64, bool) {
 		}
 	}
 	return bestThr, found
+}
+
+func isFiniteVal(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// availableFeatures splits a candidate factor list into the columns the
+// frame actually carries and those it does not. Degraded external
+// tables (dropped columns) shrink the feature set instead of failing
+// the analysis.
+func availableFeatures(f *frame.Frame, candidates []string) (have, dropped []string) {
+	for _, name := range candidates {
+		if _, err := f.Col(name); err != nil {
+			dropped = append(dropped, name)
+		} else {
+			have = append(have, name)
+		}
+	}
+	return have, dropped
+}
+
+// mergeUnique unions string lists preserving first-seen order.
+func mergeUnique(lists ...[]string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, l := range lists {
+		for _, s := range l {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
 }
 
 func summarizeOrZero(xs []float64) stats.Summary {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"rainshine/internal/ticket"
 )
 
 // FuzzReadFrameCSV feeds arbitrary bytes into the CSV importer: it must
@@ -27,6 +29,43 @@ func FuzzReadFrameCSV(f *testing.F) {
 		var buf bytes.Buffer
 		if err := FrameCSV(&buf, fr); err != nil {
 			t.Fatalf("re-serialization failed: %v", err)
+		}
+	})
+}
+
+// FuzzTicketsCSVRoundTrip: any ticket the writer can serialize must
+// survive write -> read -> write with byte-identical CSV (the derived
+// date/category columns and the reconstructed component are functions
+// of the serialized fields, so the canonical form is a fixed point).
+func FuzzTicketsCSVRoundTrip(f *testing.F) {
+	f.Add(1, 5, 2.25, 0, 3, uint8(5), false, 4.0, 2, 1)
+	f.Add(7, -2, 23.99, 1, 0, uint8(0), true, 0.0, 0, 0)
+	f.Add(0, 100000, 0.0, -3, 99, uint8(9), false, 1e300, 12, 4)
+	f.Fuzz(func(t *testing.T, id, day int, hour float64, dc, rack int,
+		faultIdx uint8, fp bool, repairHours float64, device, repeat int) {
+		in := ticket.Ticket{
+			ID: id, Day: day, Hour: hour, DC: dc, Rack: rack,
+			Fault:         ticket.Fault(int(faultIdx) % int(ticket.NumFaults)),
+			FalsePositive: fp, RepairHours: repairHours,
+			Device: device, Repeat: repeat,
+		}
+		var first bytes.Buffer
+		if err := TicketsCSV(&first, []ticket.Ticket{in}); err != nil {
+			t.Fatalf("writing: %v", err)
+		}
+		got, err := ReadTicketsCSV(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("reading own output %q: %v", first.String(), err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("read %d tickets from one record", len(got))
+		}
+		var second bytes.Buffer
+		if err := TicketsCSV(&second, got); err != nil {
+			t.Fatalf("re-writing: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round trip not canonical:\n%q\n%q", first.String(), second.String())
 		}
 	})
 }

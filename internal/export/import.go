@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 
+	"rainshine/internal/failure"
 	"rainshine/internal/frame"
+	"rainshine/internal/ticket"
 )
 
 // ReadFrameCSV parses a CSV (as written by FrameCSV, or assembled from
@@ -63,4 +66,112 @@ func ReadFrameCSV(r io.Reader) (*frame.Frame, error) {
 		}
 	}
 	return f, nil
+}
+
+// ticketColumns is the TicketsCSV schema, in writer order.
+var ticketColumns = []string{"id", "date", "day", "hour", "dc", "rack", "category", "fault", "false_positive", "repair_hours", "device", "repeat"}
+
+// parseFault reverses Fault.String.
+func parseFault(s string) (ticket.Fault, error) {
+	for f := ticket.Fault(0); f < ticket.NumFaults; f++ {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("export: unknown fault %q", s)
+}
+
+// componentOfFault reconstructs the failed component class from the
+// fault type: exact for disk and memory tickets; power/server/network
+// collapse onto the shared server-other class (the same mapping ticket
+// synthesis used, so nothing is lost). Non-hardware faults carry no
+// component and get the zero value, as the writer's source did.
+func componentOfFault(f ticket.Fault) failure.Component {
+	switch f {
+	case ticket.DiskFailure:
+		return failure.Disk
+	case ticket.MemoryFailure:
+		return failure.DIMM
+	case ticket.PowerFailure, ticket.ServerFailure, ticket.NetworkFailure:
+		return failure.ServerOther
+	default:
+		return failure.Component(0)
+	}
+}
+
+// ReadTicketsCSV parses a ticket CSV (as written by TicketsCSV, or an
+// operator's own RMA feed in that shape) back into a ticket stream.
+// The date and category columns are derived fields and are ignored on
+// read — day and fault are authoritative. No validation beyond field
+// syntax happens here; feed the result through ingest.ScrubTickets to
+// quarantine semantically bad records.
+func ReadTicketsCSV(r io.Reader) ([]ticket.Ticket, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("export: reading ticket header: %w", err)
+	}
+	idx := map[string]int{}
+	for i, name := range header {
+		idx[name] = i
+	}
+	for _, name := range ticketColumns {
+		if _, ok := idx[name]; !ok {
+			return nil, fmt.Errorf("export: ticket csv missing column %q", name)
+		}
+	}
+	field := func(rec []string, name string) string { return rec[idx[name]] }
+	var out []ticket.Ticket
+	for row := 1; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("export: reading ticket row %d: %w", row, err)
+		}
+		if len(rec) < len(header) {
+			return nil, fmt.Errorf("export: ticket row %d has %d fields, header has %d", row, len(rec), len(header))
+		}
+		var t ticket.Ticket
+		if t.ID, err = strconv.Atoi(field(rec, "id")); err != nil {
+			return nil, fmt.Errorf("export: ticket row %d id: %w", row, err)
+		}
+		if t.Day, err = strconv.Atoi(field(rec, "day")); err != nil {
+			return nil, fmt.Errorf("export: ticket row %d day: %w", row, err)
+		}
+		if t.Hour, err = strconv.ParseFloat(field(rec, "hour"), 64); err != nil {
+			return nil, fmt.Errorf("export: ticket row %d hour: %w", row, err)
+		}
+		dcs, ok := strings.CutPrefix(field(rec, "dc"), "DC")
+		if !ok {
+			return nil, fmt.Errorf("export: ticket row %d dc %q: want DC<n>", row, field(rec, "dc"))
+		}
+		dc, err := strconv.Atoi(dcs)
+		if err != nil {
+			return nil, fmt.Errorf("export: ticket row %d dc: %w", row, err)
+		}
+		t.DC = dc - 1
+		if t.Rack, err = strconv.Atoi(field(rec, "rack")); err != nil {
+			return nil, fmt.Errorf("export: ticket row %d rack: %w", row, err)
+		}
+		if t.Fault, err = parseFault(field(rec, "fault")); err != nil {
+			return nil, fmt.Errorf("export: ticket row %d: %w", row, err)
+		}
+		if t.FalsePositive, err = strconv.ParseBool(field(rec, "false_positive")); err != nil {
+			return nil, fmt.Errorf("export: ticket row %d false_positive: %w", row, err)
+		}
+		if t.RepairHours, err = strconv.ParseFloat(field(rec, "repair_hours"), 64); err != nil {
+			return nil, fmt.Errorf("export: ticket row %d repair_hours: %w", row, err)
+		}
+		if t.Device, err = strconv.Atoi(field(rec, "device")); err != nil {
+			return nil, fmt.Errorf("export: ticket row %d device: %w", row, err)
+		}
+		if t.Repeat, err = strconv.Atoi(field(rec, "repeat")); err != nil {
+			return nil, fmt.Errorf("export: ticket row %d repeat: %w", row, err)
+		}
+		t.Component = componentOfFault(t.Fault)
+		out = append(out, t)
+	}
+	return out, nil
 }

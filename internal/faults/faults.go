@@ -1,0 +1,178 @@
+// Package faults is the deterministic dirty-data generator: it corrupts
+// a study's recorded streams the way production reliability data is
+// dirty, after the simulation has already consumed the clean ground
+// truth. BMS sensor feeds lose readings (dropouts) and repeat stale
+// values (stuck-at); RMA ticket streams carry verbatim duplicates
+// (double-submitted RMAs) and clock-skewed timestamps; exported rack-day
+// frames arrive with NaN/Inf cells and whole factor columns missing.
+//
+// Everything is seed-driven: the same root stream produces the same
+// defects, so a dirty study is as reproducible as a clean one. The
+// injector only ever touches *recorded* telemetry — hazard draws,
+// failure events, and fleet construction stay untouched — which is what
+// lets the ingest pipeline's repairs be validated against the clean run.
+package faults
+
+import (
+	"math"
+
+	"rainshine/internal/climate"
+	"rainshine/internal/rng"
+	"rainshine/internal/ticket"
+)
+
+// Config holds one rate per fault class. A zero rate disables the class;
+// the zero value disables everything.
+type Config struct {
+	// SensorDropout is the per-rack-day probability that a dropout
+	// episode starts; the affected sensor then reports nothing (NaN) for
+	// a geometric run of days (mean ~3).
+	SensorDropout float64
+	// SensorStuck is the per-rack-day probability that a stuck-at
+	// episode starts; the sensor then repeats its last reading verbatim
+	// for a geometric run of days (mean ~6).
+	SensorStuck float64
+	// TicketDuplicate is the fraction of tickets duplicated verbatim
+	// (new ID, identical fields) — the double-submitted-RMA failure mode.
+	TicketDuplicate float64
+	// TicketClockSkew is the fraction of tickets whose timestamp is
+	// skewed by up to ±SkewDays days (data-entry lag / unsynchronized
+	// clocks). Skews landing outside the observation window are left
+	// out of range, which is how real streams carry impossible dates.
+	TicketClockSkew float64
+	// SkewDays bounds the clock-skew magnitude. Zero means 3.
+	SkewDays int
+	// CellNaN is the per-cell probability that a continuous factor cell
+	// of an exported frame reads NaN.
+	CellNaN float64
+	// CellInf is the per-cell probability that a continuous factor cell
+	// of an exported frame reads ±Inf (overflowed unit conversions).
+	CellInf float64
+	// DropColumns lists factor columns removed from exported frames
+	// (inventory systems with missing fields).
+	DropColumns []string
+}
+
+// Defaults returns the default dirty-data rates: every class enabled at
+// a level calibrated to the scrubbing literature's "a few percent of
+// everything" regime.
+func Defaults() Config {
+	return Config{
+		SensorDropout:   0.004,
+		SensorStuck:     0.002,
+		TicketDuplicate: 0.03,
+		TicketClockSkew: 0.05,
+		SkewDays:        3,
+		CellNaN:         0.01,
+		CellInf:         0.001,
+		DropColumns:     []string{"power_kw"},
+	}
+}
+
+// Enabled reports whether any fault class is active.
+func (c Config) Enabled() bool {
+	return c.SensorDropout > 0 || c.SensorStuck > 0 ||
+		c.TicketDuplicate > 0 || c.TicketClockSkew > 0 ||
+		c.CellNaN > 0 || c.CellInf > 0 || len(c.DropColumns) > 0
+}
+
+func (c Config) withDefaults() Config {
+	if c.SkewDays == 0 {
+		c.SkewDays = 3
+	}
+	return c
+}
+
+// CorruptClimate injects sensor dropouts and stuck-at runs into the
+// recorded climate series, in place. Dropouts write NaN into both
+// channels (the BMS lost the poll); stuck runs freeze both channels at
+// the episode's first reading (a wedged sensor controller). Each rack
+// draws from its own labelled stream, so corruption is independent of
+// rack count changes elsewhere.
+func CorruptClimate(src *rng.Source, m *climate.Model, cfg Config) error {
+	cfg = cfg.withDefaults()
+	if cfg.SensorDropout <= 0 && cfg.SensorStuck <= 0 {
+		return nil
+	}
+	days := m.Days()
+	for ri := 0; ri < m.Racks(); ri++ {
+		rs := src.SplitIndex("rack", ri)
+		for d := 0; d < days; d++ {
+			switch {
+			case cfg.SensorDropout > 0 && rs.Float64() < cfg.SensorDropout:
+				run := 1 + geometricRun(rs, 3)
+				for k := 0; k < run && d+k < days; k++ {
+					if err := m.SetAt(ri, d+k, climate.Conditions{TempF: math.NaN(), RH: math.NaN()}); err != nil {
+						return err
+					}
+				}
+				d += run - 1
+			case cfg.SensorStuck > 0 && rs.Float64() < cfg.SensorStuck:
+				frozen, err := m.At(ri, d)
+				if err != nil {
+					return err
+				}
+				run := 2 + geometricRun(rs, 6)
+				for k := 1; k < run && d+k < days; k++ {
+					if err := m.SetAt(ri, d+k, frozen); err != nil {
+						return err
+					}
+				}
+				d += run - 1
+			}
+		}
+	}
+	return nil
+}
+
+// geometricRun draws a geometric run length with the given mean.
+func geometricRun(src *rng.Source, mean float64) int {
+	n := 0
+	p := 1 / mean
+	for src.Float64() >= p {
+		n++
+		if n >= 60 {
+			break
+		}
+	}
+	return n
+}
+
+// CorruptTickets injects duplicates and clock skew into a ticket stream,
+// returning the corrupted stream. Duplicates are verbatim copies under a
+// fresh ID, appended where a re-submission would land (immediately after
+// the original); skewed tickets keep their content but move in time,
+// possibly out of the observation window entirely.
+func CorruptTickets(src *rng.Source, ts []ticket.Ticket, days int, cfg Config) []ticket.Ticket {
+	cfg = cfg.withDefaults()
+	if cfg.TicketDuplicate <= 0 && cfg.TicketClockSkew <= 0 {
+		return ts
+	}
+	out := make([]ticket.Ticket, 0, len(ts)+int(float64(len(ts))*cfg.TicketDuplicate)+1)
+	nextID := 0
+	for _, t := range ts {
+		if t.ID >= nextID {
+			nextID = t.ID + 1
+		}
+	}
+	for _, t := range ts {
+		if cfg.TicketClockSkew > 0 && src.Float64() < cfg.TicketClockSkew {
+			skew := 1 + src.IntN(cfg.SkewDays)
+			if src.Float64() < 0.5 {
+				skew = -skew
+			}
+			// Deliberately unclamped: skews past the window edges produce
+			// the impossible dates ingest quarantines.
+			t.Day += skew
+			_ = days
+		}
+		out = append(out, t)
+		if cfg.TicketDuplicate > 0 && src.Float64() < cfg.TicketDuplicate {
+			dup := t
+			dup.ID = nextID
+			nextID++
+			out = append(out, dup)
+		}
+	}
+	return out
+}

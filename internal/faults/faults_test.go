@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"rainshine/internal/climate"
+	"rainshine/internal/rng"
+	"rainshine/internal/ticket"
+	"rainshine/internal/topology"
+)
+
+func testTickets(n int) []ticket.Ticket {
+	ts := make([]ticket.Ticket, n)
+	for i := range ts {
+		ts[i] = ticket.Ticket{
+			ID:          i,
+			Day:         i % 90,
+			Hour:        float64(i%24) + 0.25,
+			DC:          i % 2,
+			Rack:        i % 40,
+			Fault:       ticket.DiskFailure,
+			RepairHours: 3,
+			Device:      i % 12,
+			Repeat:      1,
+		}
+	}
+	return ts
+}
+
+func TestZeroConfigDisabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if !Defaults().Enabled() {
+		t.Error("defaults report disabled")
+	}
+	ts := testTickets(50)
+	out := CorruptTickets(rng.New(1), ts, 90, Config{})
+	if !reflect.DeepEqual(out, ts) {
+		t.Error("zero config corrupted the ticket stream")
+	}
+}
+
+func TestCorruptTicketsDeterministic(t *testing.T) {
+	ts := testTickets(2000)
+	cfg := Defaults()
+	a := CorruptTickets(rng.New(7), testTickets(2000), 90, cfg)
+	b := CorruptTickets(rng.New(7), testTickets(2000), 90, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	c := CorruptTickets(rng.New(8), testTickets(2000), 90, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+	if len(a) <= len(ts) {
+		t.Errorf("no duplicates injected: %d -> %d", len(ts), len(a))
+	}
+	skewed := 0
+	for _, tk := range a {
+		if tk.Day < 0 || tk.Day >= 90 {
+			skewed++
+		}
+	}
+	if skewed == 0 {
+		t.Error("no out-of-window skew at default rates over 2000 tickets")
+	}
+}
+
+func testClimate(t *testing.T) *climate.Model {
+	t.Helper()
+	fleet, err := topology.Build(rng.New(3).Split("topology"),
+		topology.Config{RacksPerDC: [2]int{4, 4}, ObservationDays: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := climate.New(rng.New(3).Split("climate"), fleet, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCorruptClimateDeterministicAndInjects(t *testing.T) {
+	a, b := testClimate(t), testClimate(t)
+	cfg := Config{SensorDropout: 0.05, SensorStuck: 0.05}
+	if err := CorruptClimate(rng.New(11).Split("sensors"), a, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptClimate(rng.New(11).Split("sensors"), b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	nan := 0
+	for ri := 0; ri < a.Racks(); ri++ {
+		for d := 0; d < a.Days(); d++ {
+			ca, err := a.At(ri, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb, err := b.At(ri, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameNaN := math.IsNaN(ca.TempF) && math.IsNaN(cb.TempF)
+			if !sameNaN && (ca != cb) {
+				t.Fatalf("rack %d day %d differs under same seed: %+v vs %+v", ri, d, ca, cb)
+			}
+			if math.IsNaN(ca.TempF) {
+				nan++
+			}
+		}
+	}
+	if nan == 0 {
+		t.Error("no dropout NaNs injected at 5% rate over 960 rack-days")
+	}
+}

@@ -1,0 +1,70 @@
+package faults
+
+import (
+	"math"
+
+	"rainshine/internal/frame"
+	"rainshine/internal/rng"
+)
+
+// CorruptFrame returns a dirty copy of an exported rack-day frame:
+// columns named in cfg.DropColumns vanish (missing inventory fields) and
+// continuous factor cells flip to NaN / ±Inf at the configured rates.
+// Columns named in protect (the analysis targets and row identifiers)
+// are exempt from cell corruption so a dirty export still describes the
+// same failure history. The source frame is never modified.
+func CorruptFrame(src *rng.Source, f *frame.Frame, cfg Config, protect ...string) (*frame.Frame, error) {
+	cfg = cfg.withDefaults()
+	drop := make(map[string]bool, len(cfg.DropColumns))
+	for _, n := range cfg.DropColumns {
+		drop[n] = true
+	}
+	protected := make(map[string]bool, len(protect))
+	for _, n := range protect {
+		protected[n] = true
+	}
+	out := frame.New(f.NumRows())
+	for _, name := range f.Names() {
+		if drop[name] {
+			continue
+		}
+		c, err := f.Col(name)
+		if err != nil {
+			return nil, err
+		}
+		if c.Kind != frame.Continuous || protected[name] || (cfg.CellNaN <= 0 && cfg.CellInf <= 0) {
+			if err := addColumn(out, c); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		data := append([]float64(nil), c.Data...)
+		for i := range data {
+			switch {
+			case cfg.CellNaN > 0 && src.Float64() < cfg.CellNaN:
+				data[i] = math.NaN()
+			case cfg.CellInf > 0 && src.Float64() < cfg.CellInf:
+				data[i] = math.Inf(1 - 2*src.IntN(2))
+			}
+		}
+		if err := out.AddContinuous(name, data); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// addColumn appends a copy of a column to out, preserving its kind.
+func addColumn(out *frame.Frame, c *frame.Column) error {
+	if c.Kind == frame.Continuous {
+		return out.AddContinuous(c.Name, c.Data)
+	}
+	codes := make([]int, len(c.Data))
+	for i, v := range c.Data {
+		codes[i] = int(v)
+	}
+	if c.Kind == frame.Ordinal {
+		return out.AddOrdinalInts(c.Name, codes, c.Levels)
+	}
+	return out.AddNominalInts(c.Name, codes, c.Levels)
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"rainshine/internal/frame"
+	"rainshine/internal/ingest"
 	"rainshine/internal/metrics"
 	"rainshine/internal/simulate"
 )
@@ -20,19 +21,48 @@ type Data struct {
 
 	mu       sync.Mutex
 	rackDays *frame.Frame
+	quality  *ingest.Report
 }
 
-// NewData runs a simulation and wraps its result.
+// NewData runs a simulation and wraps its result. In dirty-data mode
+// (cfg.Faults set) the recorded streams pass through the ingest
+// quarantine/repair pipeline before any analysis sees them; the clean
+// path skips scrubbing entirely so results stay bit-identical to the
+// seed runs.
 func NewData(cfg simulate.Config) (*Data, error) {
 	res, err := simulate.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Data{Res: res}, nil
+	d := &Data{Res: res}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		rep, err := ingest.Scrub(res)
+		if err != nil {
+			return nil, err
+		}
+		d.quality = rep
+	}
+	return d, nil
 }
 
 // From wraps an existing simulation result.
 func From(res *simulate.Result) *Data { return &Data{Res: res} }
+
+// Quality returns the DataQuality report of the telemetry backing the
+// analyses. Dirty studies report the scrub that already ran; clean
+// studies run a non-mutating audit on first call.
+func (d *Data) Quality() (*ingest.Report, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.quality == nil {
+		rep, err := ingest.Audit(d.Res)
+		if err != nil {
+			return nil, err
+		}
+		d.quality = rep
+	}
+	return d.quality, nil
+}
 
 // RackDays returns the (cached) rack-day λ frame.
 func (d *Data) RackDays() (*frame.Frame, error) {

@@ -1,0 +1,33 @@
+package ingest
+
+import (
+	"rainshine/internal/simulate"
+)
+
+// Scrub runs the full pipeline over a simulation result's recorded
+// streams, repairing in place: tickets are validated, deduplicated, and
+// their repeat counters restored; sensor series are gap-detected and
+// imputed. Failure events are ground truth, not telemetry, and are
+// never touched. Returns the DataQuality report of the pass.
+func Scrub(res *simulate.Result) (*Report, error) {
+	return scrub(res, true)
+}
+
+// Audit runs the same detection pass without modifying the result —
+// the quality view of a stream the caller does not want rewritten.
+func Audit(res *simulate.Result) (*Report, error) {
+	return scrub(res, false)
+}
+
+func scrub(res *simulate.Result, repair bool) (*Report, error) {
+	rep := &Report{}
+	bounds := TicketBounds{Days: res.Days, Racks: len(res.Fleet.Racks), DCs: len(res.Fleet.DCs)}
+	scrubbed := ScrubTickets(res.Tickets, bounds, rep, repair)
+	if repair {
+		res.Tickets = scrubbed
+	}
+	if err := RepairClimate(res.Climate, rep, repair); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

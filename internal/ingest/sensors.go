@@ -1,0 +1,142 @@
+package ingest
+
+import (
+	"math"
+
+	"rainshine/internal/climate"
+)
+
+// stuckMinRun is the shortest run of exactly repeated readings treated
+// as a wedged sensor. Real inlet conditions carry continuous per-day
+// noise, so four identical float32 readings in a row are implausible —
+// unless the series is saturated at a range bound, which is legitimate
+// clipping and exempted below.
+const stuckMinRun = 4
+
+// RepairClimate runs the sensor stage over the recorded climate series:
+// detect dropouts (NaN readings) and stuck-at runs, then reconstruct the
+// unusable stretches by linear interpolation between the nearest trusted
+// readings (nearest-fill at the series edges). A stuck run's first
+// reading is genuine — the sensor froze at a real value — so only the
+// repeats are replaced. Racks with no trusted reading at all stay
+// missing and are counted as such. When repair is false the series is
+// audited but not modified.
+func RepairClimate(m *climate.Model, rep *Report, repair bool) error {
+	days := m.Days()
+	temp := make([]float64, days)
+	rh := make([]float64, days)
+	trusted := make([]bool, days)
+	for ri := 0; ri < m.Racks(); ri++ {
+		for d := 0; d < days; d++ {
+			c, err := m.At(ri, d)
+			if err != nil {
+				return err
+			}
+			temp[d], rh[d] = c.TempF, c.RH
+			trusted[d] = true
+		}
+		rep.SensorSamples += days
+
+		// Dropouts: the BMS recorded nothing.
+		gaps := 0
+		for d := 0; d < days; d++ {
+			if math.IsNaN(temp[d]) || math.IsNaN(rh[d]) {
+				trusted[d] = false
+				gaps++
+			}
+		}
+		rep.Quarantined[SensorGap] += gaps
+
+		// Stuck-at runs: both channels exactly repeating. Saturated
+		// readings at the instrument range bounds are clipping, not a
+		// wedged controller, and stay trusted.
+		for d := 0; d < days; {
+			if !trusted[d] {
+				d++
+				continue
+			}
+			run := 1
+			for d+run < days && trusted[d+run] &&
+				temp[d+run] == temp[d] && rh[d+run] == rh[d] {
+				run++
+			}
+			if run >= stuckMinRun && !saturated(temp[d], rh[d]) {
+				// The first reading of the run is the genuine freeze
+				// value; the repeats are fabricated.
+				for k := 1; k < run; k++ {
+					trusted[d+k] = false
+				}
+				rep.Quarantined[SensorStuck] += run - 1
+			}
+			d += run
+		}
+
+		native := 0
+		for d := 0; d < days; d++ {
+			if trusted[d] {
+				native++
+			}
+		}
+		rep.SensorNative += native
+		if native == days {
+			continue
+		}
+		if native == 0 {
+			rep.SensorMissing += days
+			continue
+		}
+		rep.SensorImputed += days - native
+		if !repair {
+			continue
+		}
+		impute(temp, trusted)
+		impute(rh, trusted)
+		for d := 0; d < days; d++ {
+			if trusted[d] {
+				continue
+			}
+			if err := m.SetAt(ri, d, climate.Conditions{TempF: temp[d], RH: rh[d]}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// saturated reports whether a reading sits on the instrument range
+// bounds in both channels — the only way a clean series can exactly
+// repeat itself.
+func saturated(t, r float64) bool {
+	tSat := t == climate.MinTempF || t == climate.MaxTempF
+	rSat := r == climate.MinRH || r == climate.MaxRH
+	return tSat || rSat
+}
+
+// impute fills untrusted positions by linear interpolation between the
+// nearest trusted neighbors, extending flat at the edges. At least one
+// trusted position must exist.
+func impute(xs []float64, trusted []bool) {
+	n := len(xs)
+	prev := -1
+	for d := 0; d < n; d++ {
+		if trusted[d] {
+			if prev < 0 && d > 0 {
+				for k := 0; k < d; k++ {
+					xs[k] = xs[d] // leading edge: nearest fill
+				}
+			}
+			if prev >= 0 && d-prev > 1 {
+				step := (xs[d] - xs[prev]) / float64(d-prev)
+				for k := prev + 1; k < d; k++ {
+					xs[k] = xs[prev] + step*float64(k-prev)
+				}
+			}
+			prev = d
+		}
+	}
+	if prev >= 0 && prev < n-1 {
+		for k := prev + 1; k < n; k++ {
+			xs[k] = xs[prev] // trailing edge: nearest fill
+		}
+	}
+}

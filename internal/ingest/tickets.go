@@ -1,0 +1,129 @@
+package ingest
+
+import (
+	"math"
+	"sort"
+
+	"rainshine/internal/failure"
+	"rainshine/internal/ticket"
+)
+
+// TicketBounds describe the observation window and fleet extent a
+// ticket stream must fit inside. Zero or negative bounds disable the
+// corresponding range check (external streams often lack a known fleet).
+type TicketBounds struct {
+	Days  int
+	Racks int
+	DCs   int
+}
+
+// ValidateTicket classifies one ticket against the taxonomy, returning
+// the sentinel error of the first defect found, or nil. Duplicate and
+// ordering defects are stream-level and handled by ScrubTickets.
+func ValidateTicket(t *ticket.Ticket, b TicketBounds) error {
+	if b.Days > 0 && (t.Day < 0 || t.Day >= b.Days) {
+		return ErrTicketOutOfRange
+	}
+	if b.Racks > 0 && (t.Rack < 0 || t.Rack >= b.Racks) {
+		return ErrTicketOutOfRange
+	}
+	if b.DCs > 0 && (t.DC < 0 || t.DC >= b.DCs) {
+		return ErrTicketOutOfRange
+	}
+	if t.Hour < 0 || t.Hour >= 24 || math.IsNaN(t.Hour) {
+		return ErrTicketBadHour
+	}
+	if t.RepairHours < 0 || math.IsNaN(t.RepairHours) || math.IsInf(t.RepairHours, 0) {
+		return ErrTicketBadRepair
+	}
+	if t.Fault < 0 || t.Fault >= ticket.NumFaults {
+		return ErrTicketUnknownFault
+	}
+	return nil
+}
+
+// ScrubTickets runs the ticket stage: quarantine invalid records, drop
+// exact duplicates, and restore per-device repeat counters that clock
+// skew knocked out of time order. The input slice is not modified; the
+// returned slice preserves the survivors' original stream order. When
+// repair is false the stream is audited — every defect is counted but
+// the input is returned unchanged.
+func ScrubTickets(ts []ticket.Ticket, b TicketBounds, rep *Report, repair bool) []ticket.Ticket {
+	rep.TicketsIn += len(ts)
+	kept := make([]ticket.Ticket, 0, len(ts))
+	seen := make(map[ticket.Ticket]bool, len(ts))
+	for _, t := range ts {
+		if err := ValidateTicket(&t, b); err != nil {
+			rep.Quarantined[classOfTicketErr(err)]++
+			continue
+		}
+		// Dedup on content: identical in every field but the ID.
+		key := t
+		key.ID = 0
+		if seen[key] {
+			rep.Quarantined[DuplicateTicket]++
+			continue
+		}
+		seen[key] = true
+		kept = append(kept, t)
+	}
+	repairRepeats(kept, rep)
+	rep.TicketsKept += len(kept)
+	if !repair {
+		return ts
+	}
+	return kept
+}
+
+// classOfTicketErr maps a per-ticket sentinel back to its class.
+func classOfTicketErr(err error) Class {
+	switch err {
+	case ErrTicketOutOfRange:
+		return TicketOutOfRange
+	case ErrTicketBadHour:
+		return TicketBadHour
+	case ErrTicketBadRepair:
+		return TicketBadRepair
+	default:
+		return TicketUnknownFault
+	}
+}
+
+// repairRepeats restores the RMA re-open counters: within one device's
+// ticket group, Repeat must count occurrences in time order. Clock skew
+// moves a ticket in time without touching its counter, so an inversion
+// (an earlier timestamp carrying a later counter) marks a skewed record.
+// Counters are reassigned in time order; clean streams are untouched.
+func repairRepeats(ts []ticket.Ticket, rep *Report) {
+	type deviceKey struct {
+		rack   int
+		comp   failure.Component
+		device int
+	}
+	groups := map[deviceKey][]int{}
+	for i := range ts {
+		if ts[i].Repeat == 0 {
+			continue // non-hardware tickets carry no counter
+		}
+		k := deviceKey{ts[i].Rack, ts[i].Component, ts[i].Device}
+		groups[k] = append(groups[k], i)
+	}
+	for _, idxs := range groups {
+		sort.SliceStable(idxs, func(a, b int) bool {
+			ta, tb := &ts[idxs[a]], &ts[idxs[b]]
+			if ta.Day != tb.Day {
+				return ta.Day < tb.Day
+			}
+			if ta.Hour != tb.Hour {
+				return ta.Hour < tb.Hour
+			}
+			return ta.ID < tb.ID
+		})
+		for occ, i := range idxs {
+			if ts[i].Repeat != occ+1 {
+				rep.Repaired[RepeatInversion]++
+				ts[i].Repeat = occ + 1
+			}
+		}
+	}
+}

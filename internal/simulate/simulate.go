@@ -21,6 +21,7 @@ import (
 	"rainshine/internal/climate"
 	"rainshine/internal/dist"
 	"rainshine/internal/failure"
+	"rainshine/internal/faults"
 	"rainshine/internal/rng"
 	"rainshine/internal/ticket"
 	"rainshine/internal/topology"
@@ -48,6 +49,11 @@ type Config struct {
 	// count: each rack draws from its own labelled stream and per-rack
 	// event buffers are merged in rack order.
 	Workers int
+	// Faults, when non-nil, corrupts the *recorded* telemetry (climate
+	// series, ticket stream) after the simulation has consumed the clean
+	// ground truth — the dirty-data mode. Nil leaves every stream
+	// bit-identical to the clean run.
+	Faults *faults.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -198,6 +204,15 @@ func Run(cfg Config) (*Result, error) {
 
 	if err := synthesizeTickets(res, root.Split("tickets")); err != nil {
 		return nil, err
+	}
+	// Telemetry corruption runs last: hazard draws and events above saw
+	// the true conditions, only the recorded streams get dirty.
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		fsrc := root.Split("faults")
+		if err := faults.CorruptClimate(fsrc.Split("sensors"), res.Climate, *cfg.Faults); err != nil {
+			return nil, fmt.Errorf("simulate: injecting sensor faults: %w", err)
+		}
+		res.Tickets = faults.CorruptTickets(fsrc.Split("tickets"), res.Tickets, res.Days, *cfg.Faults)
 	}
 	return res, nil
 }

@@ -263,7 +263,10 @@ func Build(src *rng.Source, cfg Config) (*Fleet, error) {
 				row = rowInRegion(dc, 0, rsrc)
 			}
 			spec := catalog[sku]
-			power := drawPower(rsrc, spec)
+			power, err := drawPower(rsrc, spec)
+			if err != nil {
+				return nil, err
+			}
 			commission := drawCommission(rsrc, cfg.ObservationDays)
 			// More Q2 confounding: the S2 generation was deployed as a
 			// dense, recent refresh (high power brackets, young racks),
@@ -325,7 +328,7 @@ func rowInRegion(dc DCSpec, region int, src *rng.Source) int {
 
 // drawPower picks a rack power rating consistent with the SKU class:
 // compute SKUs are denser and land in the high brackets.
-func drawPower(src *rng.Source, spec SKUSpec) float64 {
+func drawPower(src *rng.Source, spec SKUSpec) (float64, error) {
 	var weights []float64
 	switch spec.Class {
 	case "compute":
@@ -337,7 +340,11 @@ func drawPower(src *rng.Source, spec SKUSpec) float64 {
 	default:
 		weights = []float64{0.1, 0.15, 0.15, 0.2, 0.15, 0.1, 0.1, 0.05}
 	}
-	return PowerRatings[sampleIdx(src, mustDist(weights))]
+	d, err := dist(weights)
+	if err != nil {
+		return 0, fmt.Errorf("topology: power weights for class %q: %w", spec.Class, err)
+	}
+	return PowerRatings[sampleIdx(src, d)], nil
 }
 
 // drawCommission draws a commission day such that ages span 0-5 years.
@@ -387,14 +394,6 @@ func dist(weights []float64) (cdf, error) {
 		out[i] = acc
 	}
 	return out, nil
-}
-
-func mustDist(weights []float64) cdf {
-	d, err := dist(weights)
-	if err != nil {
-		panic(err)
-	}
-	return d
 }
 
 func sampleIdx(src *rng.Source, c cdf) int {

@@ -25,7 +25,9 @@ import (
 	"rainshine/internal/cart"
 	"rainshine/internal/envan"
 	"rainshine/internal/export"
+	"rainshine/internal/faults"
 	"rainshine/internal/figures"
+	"rainshine/internal/ingest"
 	"rainshine/internal/metrics"
 	"rainshine/internal/predict"
 	"rainshine/internal/provision"
@@ -92,6 +94,35 @@ func WithoutSoftwareTickets() Option {
 	return func(c *simulate.Config) { c.SkipNonHardware = true }
 }
 
+// FaultConfig sets per-class rates for the deterministic fault injector
+// (dirty-data mode): sensor dropouts and stuck-at readings, duplicate
+// and clock-skewed tickets, and damaged export cells. See
+// internal/faults for the knobs.
+type FaultConfig = faults.Config
+
+// DefaultFaults returns the documented default corruption rates.
+func DefaultFaults() FaultConfig { return faults.Defaults() }
+
+// WithFaults enables dirty-data mode: after the clean simulation runs,
+// the *recorded* telemetry (never the ground-truth failure process) is
+// corrupted per fc, then passed through the ingest quarantine/repair
+// pipeline before any analysis sees it. Corruption is a pure function
+// of the study seed. A zero-valued FaultConfig leaves the study
+// bit-identical to the clean run.
+func WithFaults(fc FaultConfig) Option {
+	return func(c *simulate.Config) { c.Faults = &fc }
+}
+
+// DataQuality reports what the ingest pipeline found: per-defect-class
+// quarantine and repair counts plus ticket/sensor coverage. See
+// internal/ingest for the class taxonomy.
+type DataQuality = ingest.Report
+
+// Quality returns the study's DataQuality report. Dirty studies report
+// the scrub that ran at construction; clean studies run a non-mutating
+// audit on first call (and should come back clean).
+func (s *Study) Quality() (*DataQuality, error) { return s.data.Quality() }
+
 // Study is one simulated observation window plus cached analyses.
 type Study struct {
 	data *figures.Data
@@ -145,6 +176,9 @@ type SpareReport struct {
 	// FactorRanking orders the factors by their importance in forming
 	// the clusters.
 	FactorRanking []string
+	// DataCoverage is the fraction of recorded telemetry (min of ticket
+	// and sensor coverage) backing this analysis; 1.0 on clean studies.
+	DataCoverage float64
 }
 
 // ClusterInfo describes one MF rack cluster.
@@ -187,6 +221,9 @@ func (s *Study) SpareProvisioning(wl Workload, hourly bool) (*SpareReport, error
 	for _, v := range savings {
 		rep.TCOSavingsPct = append(rep.TCOSavingsPct, 100*v)
 	}
+	if q, err := s.Quality(); err == nil {
+		rep.DataCoverage = q.Coverage()
+	}
 	if sl.Clustering != nil {
 		rep.FactorRanking = sl.Clustering.Tree.RankedFeatures()
 		for ci, members := range sl.Clustering.Members {
@@ -225,6 +262,9 @@ type VendorReport struct {
 	// check); Strata is the number of strata observing both SKUs.
 	PValue float64
 	Strata int
+	// DataCoverage is the fraction of recorded telemetry (min of ticket
+	// and sensor coverage) backing this analysis; 1.0 on clean studies.
+	DataCoverage float64
 }
 
 // VendorComparison runs Q2 for the paper's two compute SKUs at the given
@@ -282,13 +322,17 @@ func (s *Study) VendorComparison(priceRatios ...float64) (*VendorReport, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &VendorReport{
+	rep := &VendorReport{
 		RatioSF:  sfS2.Avg / sfS4.Avg,
 		RatioMF:  mfS2.Avg / mfS4.Avg,
 		Verdicts: verdicts,
 		PValue:   sig.PairedT,
 		Strata:   sig.Strata,
-	}, nil
+	}
+	if q, err := s.Quality(); err == nil {
+		rep.DataCoverage = q.Coverage()
+	}
+	return rep, nil
 }
 
 // PoolingAnalysis quantifies Section II's shared-vs-dedicated spare
@@ -309,11 +353,24 @@ func (s *Study) RepairPolicy() ([]repair.Recommendation, error) {
 }
 
 // ExportRackDaysCSV writes the study's rack-day analysis table as CSV —
-// the shape AnalyzeClimateCSV (and external tools) consume.
+// the shape AnalyzeClimateCSV (and external tools) consume. In
+// dirty-data mode the export itself is lossy, the way inventory-system
+// extracts are: configured factor columns are missing and cells read
+// NaN/Inf at the configured rates (the target and environmental axes
+// are never damaged, so the table still describes the same failure
+// history). AnalyzeClimateCSV demonstrates degrading gracefully on
+// exactly this output.
 func (s *Study) ExportRackDaysCSV(w io.Writer) error {
 	f, err := s.data.RackDays()
 	if err != nil {
 		return err
+	}
+	if fc := s.data.Res.Cfg.Faults; fc != nil && fc.Enabled() {
+		src := rng.New(s.data.Res.Cfg.Seed).Split("faults").Split("frame")
+		f, err = faults.CorruptFrame(src, f, *fc, "disk_failures", "dc", "temp", "rh")
+		if err != nil {
+			return err
+		}
 	}
 	return export.FrameCSV(w, f)
 }
@@ -328,21 +385,32 @@ func (s *Study) ExportTicketsCSV(w io.Writer) error {
 // rackdays` produces — operators can substitute their own telemetry in
 // that shape). This is the bring-your-own-data path: none of the
 // simulator is involved.
+// The input is untrusted: required columns are checked up front, Inf
+// cells are normalized to missing, and absent optional factors shrink
+// the candidate set instead of failing — the report's DataCoverage and
+// MissingFeatures fields say how degraded the run was.
 func AnalyzeClimateCSV(r io.Reader) (*ClimateReport, error) {
 	f, err := export.ReadFrameCSV(r)
 	if err != nil {
 		return nil, err
+	}
+	var ingestRep ingest.Report
+	fq, err := ingest.SanitizeFrame(f, []string{"disk_failures", "dc", "temp", "rh"}, &ingestRep)
+	if err != nil {
+		return nil, fmt.Errorf("rainshine: unusable climate table: %w", err)
 	}
 	res, err := envan.Analyze(f, cart.Config{})
 	if err != nil {
 		return nil, err
 	}
 	rep := &ClimateReport{
-		TempThresholdF: res.Thresholds.TempF,
-		RHThreshold:    res.Thresholds.RH,
-		HotPenalty:     map[string]float64{},
-		DryPenalty:     map[string]float64{},
-		Tree:           res.Tree,
+		TempThresholdF:  res.Thresholds.TempF,
+		RHThreshold:     res.Thresholds.RH,
+		HotPenalty:      map[string]float64{},
+		DryPenalty:      map[string]float64{},
+		Tree:            res.Tree,
+		DataCoverage:    fq.Coverage(),
+		MissingFeatures: res.DroppedFeatures,
 	}
 	fillPenalties(rep, res)
 	return rep, nil
@@ -429,6 +497,12 @@ type ClimateReport struct {
 	DryPenalty map[string]float64
 	// Tree is the fitted MF model for inspection.
 	Tree *cart.Tree
+	// DataCoverage is the fraction of usable cells/telemetry backing
+	// the analysis (1.0 when nothing was quarantined or missing).
+	DataCoverage float64
+	// MissingFeatures lists candidate factors the input did not carry;
+	// the analysis degraded to the remaining factors.
+	MissingFeatures []string
 }
 
 // ClimateGuidance runs Q3 over the study's rack-day data.
@@ -442,11 +516,15 @@ func (s *Study) ClimateGuidance() (*ClimateReport, error) {
 		return nil, err
 	}
 	rep := &ClimateReport{
-		TempThresholdF: res.Thresholds.TempF,
-		RHThreshold:    res.Thresholds.RH,
-		HotPenalty:     map[string]float64{},
-		DryPenalty:     map[string]float64{},
-		Tree:           res.Tree,
+		TempThresholdF:  res.Thresholds.TempF,
+		RHThreshold:     res.Thresholds.RH,
+		HotPenalty:      map[string]float64{},
+		DryPenalty:      map[string]float64{},
+		Tree:            res.Tree,
+		MissingFeatures: res.DroppedFeatures,
+	}
+	if q, err := s.Quality(); err == nil {
+		rep.DataCoverage = q.Coverage()
 	}
 	// Penalties are only meaningful with enough exposure in each regime;
 	// DC2's chilled-water plant rarely strays above the threshold at all,
