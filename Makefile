@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro outputs examples fuzz clean
+.PHONY: all build vet test race bench serve-load repro outputs examples fuzz clean
 
 all: build vet test
 
@@ -21,6 +21,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Concurrent load test against the serve daemon (32 parallel clients,
+# mixed endpoints, 3 distinct configs) under the race detector; records
+# the throughput summary to BENCH_serve.json.
+serve-load:
+	RAINSHINE_BENCH_OUT=$(CURDIR)/BENCH_serve.json \
+		$(GO) test -race -count=1 -run TestServeLoad -v ./internal/server/
 
 # Regenerate every paper table and figure at full scale (seed 42).
 repro:

@@ -19,6 +19,9 @@
 //	                   rackdays (CSV analysis table)
 //	ablate             MF design-choice ablations (feature subsets, cluster budget, cp)
 //	climate-csv <file> run the Q3 analysis on an external rack-day CSV ("-" = stdin)
+//	serve              run the analysis daemon: Q1-Q3/predict/quality as a JSON
+//	                   HTTP API with a cached study registry (own flags:
+//	                   -addr, -cache-size, -timeout; see README)
 //	pooling            shared-vs-dedicated spare pool comparison
 //	opex               replace-vs-service repair policy comparison
 //	tree               print the Q3 multi-factor CART model
@@ -79,17 +82,13 @@ func run(args []string) error {
 		opts = append(opts, rainshine.WithFaults(rainshine.DefaultFaults()))
 	}
 	if *racks != "" {
-		parts := strings.Split(*racks, ",")
-		if len(parts) != 2 {
-			return fmt.Errorf("-racks wants dc1,dc2 counts, got %q", *racks)
-		}
-		a, err := strconv.Atoi(parts[0])
+		// Shared with the server's racks query parameter: rejects
+		// malformed pairs and non-positive counts (topology would
+		// silently substitute the full paper-scale fleet for those).
+		a, b, err := rainshine.ParseRacks(*racks)
 		if err != nil {
-			return fmt.Errorf("parsing -racks: %w", err)
-		}
-		b, err := strconv.Atoi(parts[1])
-		if err != nil {
-			return fmt.Errorf("parsing -racks: %w", err)
+			// main prints its own "rainshine:" prefix; avoid doubling it.
+			return fmt.Errorf("-racks: %s", strings.TrimPrefix(err.Error(), "rainshine: "))
 		}
 		opts = append(opts, rainshine.WithRacks(a, b))
 	}
@@ -100,6 +99,11 @@ func run(args []string) error {
 			return fmt.Errorf("climate-csv wants a rack-day CSV path (or - for stdin)")
 		}
 		return analyzeClimateCSV(rest[1], os.Stdout)
+	}
+	// serve runs the analysis daemon; it has its own flag set and
+	// builds studies on demand per request instead of one up front.
+	if rest[0] == "serve" {
+		return serveCmd(rest[1:])
 	}
 
 	fmt.Fprintf(os.Stderr, "simulating fleet (seed %d)...\n", *seed)
@@ -202,11 +206,5 @@ func analyzeClimateCSV(path string, out io.Writer) error {
 }
 
 func parseWorkload(s string) (rainshine.Workload, error) {
-	s = strings.ToUpper(s)
-	for w := rainshine.W1; w <= rainshine.W7; w++ {
-		if w.String() == s {
-			return w, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown workload %q (want W1..W7)", s)
+	return rainshine.ParseWorkload(s)
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"rainshine"
 )
@@ -143,14 +144,63 @@ func TestRunArgErrors(t *testing.T) {
 		{"-racks", "1", "summary"}, // malformed racks (pre-study)
 		{"-racks", "a,b", "summary"},
 		{"-racks", "1,b", "summary"},
-		withTiny("bogus"),      // unknown command
-		withTiny("table"),      // missing table number
-		withTiny("fig"),        // missing figure number
-		withTiny("fig", "abc"), // bad figure number
-		withTiny("export"),     // missing export target
-		withTiny("q1", "nope"), // bad workload
+		{"-racks", "0,10", "summary"},  // zero rack count rejected
+		{"-racks", "10,-5", "summary"}, // negative rack count rejected
+		{"climate-csv"},                // missing CSV path (pre-study)
+		withTiny("bogus"),              // unknown command
+		withTiny("table"),              // missing table number
+		withTiny("fig"),                // missing figure number
+		withTiny("fig", "abc"),         // bad figure number
+		withTiny("export"),             // missing export target
+		withTiny("q1", "nope"),         // bad workload
 	}
 	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should error", args)
+		}
+	}
+}
+
+func TestParseServeFlags(t *testing.T) {
+	cfg, err := parseServeFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":8080" || cfg.cache != 4 || cfg.timeout != 5*time.Minute {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	cfg, err = parseServeFlags([]string{"-addr", "127.0.0.1:9090", "-cache-size", "2", "-timeout", "30s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "127.0.0.1:9090" || cfg.cache != 2 || cfg.timeout != 30*time.Second {
+		t.Errorf("parsed = %+v", cfg)
+	}
+	bad := [][]string{
+		{"-cache-size", "0"},
+		{"-cache-size", "-3"},
+		{"-timeout", "0s"},
+		{"-timeout", "-1m"},
+		{"-addr", ""},
+		{"-bogus"},
+		{"surplus", "args"},
+	}
+	for _, args := range bad {
+		if _, err := parseServeFlags(args); err == nil {
+			t.Errorf("parseServeFlags(%v) should error", args)
+		}
+	}
+}
+
+func TestRunDispatchesServeFlagErrors(t *testing.T) {
+	// Bad serve flags must surface through run() without ever binding a
+	// port (parseServeFlags rejects them before the listener exists).
+	for _, args := range [][]string{
+		{"serve", "-cache-size", "0"},
+		{"serve", "-timeout", "-5s"},
+		{"serve", "-no-such-flag"},
+		{"serve", "positional"},
+	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) should error", args)
 		}

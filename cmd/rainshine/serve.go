@@ -1,0 +1,93 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rainshine/internal/server"
+)
+
+// serveConfig is the parsed form of the serve subcommand's flags.
+type serveConfig struct {
+	addr    string
+	cache   int
+	timeout time.Duration
+}
+
+// parseServeFlags parses and validates the serve flags without binding
+// a port, so tests can exercise it directly.
+func parseServeFlags(args []string) (serveConfig, error) {
+	fs := flag.NewFlagSet("rainshine serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cache := fs.Int("cache-size", 4, "max studies held in the registry LRU")
+	timeout := fs.Duration("timeout", 5*time.Minute,
+		"per-request deadline, including any study build the request triggers")
+	if err := fs.Parse(args); err != nil {
+		return serveConfig{}, err
+	}
+	if rest := fs.Args(); len(rest) > 0 {
+		return serveConfig{}, fmt.Errorf("serve takes no positional arguments, got %q", rest)
+	}
+	if *addr == "" {
+		return serveConfig{}, errors.New("-addr must not be empty")
+	}
+	if *cache < 1 {
+		return serveConfig{}, fmt.Errorf("-cache-size must be at least 1, got %d", *cache)
+	}
+	if *timeout <= 0 {
+		return serveConfig{}, fmt.Errorf("-timeout must be positive, got %s", *timeout)
+	}
+	return serveConfig{addr: *addr, cache: *cache, timeout: *timeout}, nil
+}
+
+// serveCmd runs the analysis daemon until SIGINT/SIGTERM, then drains
+// in-flight requests and exits cleanly.
+func serveCmd(args []string) error {
+	cfg, err := parseServeFlags(args)
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Config{CacheSize: cfg.cache, Timeout: cfg.timeout})
+	hs := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "rainshine serve: listening on %s (cache %d studies, timeout %s)\n",
+		cfg.addr, cfg.cache, cfg.timeout)
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns early on its own for setup
+		// failures (port in use, bad address).
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C force-quits
+	fmt.Fprintln(os.Stderr, "rainshine serve: draining in-flight requests...")
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+	snap := srv.Metrics().Snapshot(cfg.cache)
+	fmt.Fprintf(os.Stderr, "rainshine serve: done (%d builds, %d cache hits, %d misses)\n",
+		snap.Builds.Completed, snap.Cache.Hits, snap.Cache.Misses)
+	return nil
+}

@@ -6,6 +6,7 @@
 package figures
 
 import (
+	"context"
 	"sync"
 
 	"rainshine/internal/frame"
@@ -30,8 +31,18 @@ type Data struct {
 // path skips scrubbing entirely so results stay bit-identical to the
 // seed runs.
 func NewData(cfg simulate.Config) (*Data, error) {
-	res, err := simulate.Run(cfg)
+	return NewDataContext(context.Background(), cfg)
+}
+
+// NewDataContext is NewData under a context: cancellation aborts the
+// simulation (and skips the dirty-data scrub) instead of running it to
+// completion for a caller that is no longer listening.
+func NewDataContext(ctx context.Context, cfg simulate.Config) (*Data, error) {
+	res, err := simulate.RunContext(ctx, cfg)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	d := &Data{Res: res}

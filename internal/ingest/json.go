@@ -1,0 +1,97 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// reportJSON is the wire shape of a Report: the per-class counters
+// become maps keyed by defect-class name (zero counts omitted), and the
+// derived coverage fractions are included read-only so API consumers
+// need not recompute them.
+type reportJSON struct {
+	TicketsIn     int            `json:"tickets_in"`
+	TicketsKept   int            `json:"tickets_kept"`
+	Quarantined   map[string]int `json:"quarantined,omitempty"`
+	Repaired      map[string]int `json:"repaired,omitempty"`
+	SensorSamples int            `json:"sensor_samples"`
+	SensorNative  int            `json:"sensor_native"`
+	SensorImputed int            `json:"sensor_imputed"`
+	SensorMissing int            `json:"sensor_missing"`
+
+	TicketCoverage float64 `json:"ticket_coverage"`
+	SensorCoverage float64 `json:"sensor_coverage"`
+	Coverage       float64 `json:"coverage"`
+}
+
+func classCounts(a [NumClasses]int) map[string]int {
+	var m map[string]int
+	for c, n := range a {
+		if n == 0 {
+			continue
+		}
+		if m == nil {
+			m = map[string]int{}
+		}
+		m[Class(c).String()] = n
+	}
+	return m
+}
+
+// MarshalJSON encodes the report with named defect classes.
+func (r Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(reportJSON{
+		TicketsIn:      r.TicketsIn,
+		TicketsKept:    r.TicketsKept,
+		Quarantined:    classCounts(r.Quarantined),
+		Repaired:       classCounts(r.Repaired),
+		SensorSamples:  r.SensorSamples,
+		SensorNative:   r.SensorNative,
+		SensorImputed:  r.SensorImputed,
+		SensorMissing:  r.SensorMissing,
+		TicketCoverage: r.TicketCoverage(),
+		SensorCoverage: r.SensorCoverage(),
+		Coverage:       r.Coverage(),
+	})
+}
+
+// UnmarshalJSON inverts MarshalJSON; the derived coverage fields are
+// ignored (they are recomputed from the counters on demand).
+func (r *Report) UnmarshalJSON(b []byte) error {
+	var w reportJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*r = Report{
+		TicketsIn:     w.TicketsIn,
+		TicketsKept:   w.TicketsKept,
+		SensorSamples: w.SensorSamples,
+		SensorNative:  w.SensorNative,
+		SensorImputed: w.SensorImputed,
+		SensorMissing: w.SensorMissing,
+	}
+	fill := func(dst *[NumClasses]int, src map[string]int) error {
+		for name, n := range src {
+			c, err := classFromName(name)
+			if err != nil {
+				return err
+			}
+			dst[c] = n
+		}
+		return nil
+	}
+	if err := fill(&r.Quarantined, w.Quarantined); err != nil {
+		return err
+	}
+	return fill(&r.Repaired, w.Repaired)
+}
+
+// classFromName resolves a defect-class name back to its Class.
+func classFromName(name string) (Class, error) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("ingest: unknown defect class %q", name)
+}

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"rainshine/internal/stats"
+)
+
+// latencyWindow bounds the per-endpoint latency reservoir; quantiles
+// are computed over the most recent window of samples.
+const latencyWindow = 4096
+
+// Metrics aggregates the counters /metricz reports: per-endpoint
+// request counts and latency quantiles, cache effectiveness, and the
+// study-build lifecycle. All methods are safe for concurrent use.
+type Metrics struct {
+	start time.Time
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+	cache     CacheCounters
+	builds    BuildCounters
+}
+
+// endpointStats accumulates one endpoint's counters plus a ring of
+// recent latencies (milliseconds).
+type endpointStats struct {
+	count  int64
+	errors int64
+	lat    []float64
+	next   int
+}
+
+// NewMetrics returns an empty collector; uptime counts from now.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), endpoints: map[string]*endpointStats{}}
+}
+
+// Observe records one request against path.
+func (m *Metrics) Observe(path string, d time.Duration, isErr bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.endpoints[path]
+	if e == nil {
+		e = &endpointStats{lat: make([]float64, 0, 64)}
+		m.endpoints[path] = e
+	}
+	e.count++
+	if isErr {
+		e.errors++
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	if len(e.lat) < latencyWindow {
+		e.lat = append(e.lat, ms)
+		return
+	}
+	e.lat[e.next] = ms
+	e.next = (e.next + 1) % latencyWindow
+}
+
+// CacheHit records a registry lookup served from the LRU.
+func (m *Metrics) CacheHit() { m.mu.Lock(); m.cache.Hits++; m.mu.Unlock() }
+
+// CacheMiss records a lookup that found no ready study; joined says it
+// piggybacked on an in-flight build instead of starting one.
+func (m *Metrics) CacheMiss(joined bool) {
+	m.mu.Lock()
+	m.cache.Misses++
+	if joined {
+		m.cache.DedupJoins++
+	}
+	m.mu.Unlock()
+}
+
+// CacheEvicted records one LRU eviction.
+func (m *Metrics) CacheEvicted() { m.mu.Lock(); m.cache.Evictions++; m.mu.Unlock() }
+
+// CacheSize updates the cached-study gauge.
+func (m *Metrics) CacheSize(n int) { m.mu.Lock(); m.cache.Size = n; m.mu.Unlock() }
+
+// BuildStarted / BuildCompleted / BuildCanceled / BuildFailed track the
+// study-build lifecycle. InFlight = Started - (Completed+Canceled+Failed).
+func (m *Metrics) BuildStarted() { m.mu.Lock(); m.builds.Started++; m.mu.Unlock() }
+
+// BuildCompleted records a build that produced a study.
+func (m *Metrics) BuildCompleted() { m.mu.Lock(); m.builds.Completed++; m.mu.Unlock() }
+
+// BuildCanceled records a build abandoned by every waiter.
+func (m *Metrics) BuildCanceled() { m.mu.Lock(); m.builds.Canceled++; m.mu.Unlock() }
+
+// BuildFailed records a build that returned an error.
+func (m *Metrics) BuildFailed() { m.mu.Lock(); m.builds.Failed++; m.mu.Unlock() }
+
+// Snapshot is the JSON shape of /metricz.
+type Snapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Requests      map[string]EndpointSnapshot `json:"requests"`
+	Cache         CacheCounters               `json:"cache"`
+	Builds        BuildCounters               `json:"builds"`
+}
+
+// EndpointSnapshot summarizes one endpoint.
+type EndpointSnapshot struct {
+	Count     int64           `json:"count"`
+	Errors    int64           `json:"errors"`
+	LatencyMS LatencyQuantile `json:"latency_ms"`
+}
+
+// LatencyQuantile holds the served latency quantiles in milliseconds.
+type LatencyQuantile struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// CacheCounters summarizes registry cache effectiveness.
+type CacheCounters struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	DedupJoins int64 `json:"dedup_joins"`
+	Evictions  int64 `json:"evictions"`
+	Size       int   `json:"size"`
+	Capacity   int   `json:"capacity"`
+}
+
+// BuildCounters summarizes the study-build lifecycle.
+type BuildCounters struct {
+	Started   int64 `json:"started"`
+	Completed int64 `json:"completed"`
+	Canceled  int64 `json:"canceled"`
+	Failed    int64 `json:"failed"`
+	InFlight  int64 `json:"in_flight"`
+}
+
+// Snapshot captures a consistent copy of every counter; latency
+// quantiles are computed here (internal/stats) over the recent window.
+func (m *Metrics) Snapshot(cacheCapacity int) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      make(map[string]EndpointSnapshot, len(m.endpoints)),
+		Cache:         m.cache,
+		Builds:        m.builds,
+	}
+	s.Cache.Capacity = cacheCapacity
+	s.Builds.InFlight = m.builds.Started - m.builds.Completed - m.builds.Canceled - m.builds.Failed
+	for path, e := range m.endpoints {
+		es := EndpointSnapshot{Count: e.count, Errors: e.errors}
+		if len(e.lat) > 0 {
+			q := func(p float64) float64 {
+				v, err := stats.Quantile(e.lat, p)
+				if err != nil {
+					return 0
+				}
+				return v
+			}
+			es.LatencyMS = LatencyQuantile{P50: q(0.50), P90: q(0.90), P99: q(0.99), Max: q(1)}
+		}
+		s.Requests[path] = es
+	}
+	return s
+}

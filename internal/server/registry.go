@@ -1,0 +1,229 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"rainshine"
+)
+
+// StudyConfig canonically identifies one study: every request parameter
+// that feeds simulation. Two requests with equal (normalized) configs
+// share one cached study; everything else about a request (workload,
+// granularity, price ratios) is an evaluation parameter and never forces
+// a rebuild.
+type StudyConfig struct {
+	Seed   uint64
+	Days   int
+	Racks  [2]int
+	Faults bool
+}
+
+// Normalize resolves defaulted fields so that "unset" and "explicitly
+// set to the default" map to the same cache key.
+func (c StudyConfig) Normalize() StudyConfig {
+	if c.Seed == 0 {
+		c.Seed = rainshine.DefaultSeed
+	}
+	if c.Days == 0 {
+		c.Days = 930
+	}
+	if c.Racks[0] == 0 && c.Racks[1] == 0 {
+		c.Racks = [2]int{331, 290} // paper-scale fleet (Table I)
+	}
+	return c
+}
+
+// Key is the canonical cache key.
+func (c StudyConfig) Key() string {
+	c = c.Normalize()
+	return fmt.Sprintf("seed=%d days=%d racks=%d,%d faults=%t",
+		c.Seed, c.Days, c.Racks[0], c.Racks[1], c.Faults)
+}
+
+// Options translates the config to rainshine functional options.
+func (c StudyConfig) Options() []rainshine.Option {
+	c = c.Normalize()
+	opts := []rainshine.Option{
+		rainshine.WithSeed(c.Seed),
+		rainshine.WithDays(c.Days),
+		rainshine.WithRacks(c.Racks[0], c.Racks[1]),
+	}
+	if c.Faults {
+		opts = append(opts, rainshine.WithFaults(rainshine.DefaultFaults()))
+	}
+	return opts
+}
+
+// buildFunc constructs a study; swapped out by tests.
+type buildFunc func(ctx context.Context, cfg StudyConfig) (*rainshine.Study, error)
+
+// buildStudy is the production buildFunc.
+func buildStudy(ctx context.Context, cfg StudyConfig) (*rainshine.Study, error) {
+	return rainshine.NewStudyContext(ctx, cfg.Options()...)
+}
+
+// buildCall is one in-flight study construction shared by every request
+// that asked for the same config while it ran (singleflight). The build
+// runs detached from any single request's context; instead each waiter
+// holds a reference, and when the last waiter abandons (timeout, client
+// gone) the build itself is canceled — a study nobody is waiting for is
+// never simulated to completion.
+type buildCall struct {
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+
+	// set before done is closed
+	study *rainshine.Study
+	err   error
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key   string
+	study *rainshine.Study
+}
+
+// registry is the study cache: singleflight deduplication in front of a
+// size-bounded LRU. All methods are safe for concurrent use.
+type registry struct {
+	build    buildFunc
+	capacity int
+	metrics  *Metrics
+
+	mu       sync.Mutex
+	order    []*cacheEntry // front = most recently used
+	byKey    map[string]*cacheEntry
+	inflight map[string]*buildCall
+}
+
+// newRegistry sizes the cache; capacity < 1 is coerced to 1.
+func newRegistry(capacity int, m *Metrics, build buildFunc) *registry {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if build == nil {
+		build = buildStudy
+	}
+	return &registry{
+		build:    build,
+		capacity: capacity,
+		metrics:  m,
+		byKey:    make(map[string]*cacheEntry),
+		inflight: make(map[string]*buildCall),
+	}
+}
+
+// Study returns the cached study for cfg, joining an in-flight build or
+// starting one as needed. It blocks until the study is ready or ctx is
+// done. Build errors are returned to every waiter and never cached.
+func (r *registry) Study(ctx context.Context, cfg StudyConfig) (*rainshine.Study, error) {
+	key := cfg.Key()
+
+	r.mu.Lock()
+	if e, ok := r.byKey[key]; ok {
+		r.touch(e)
+		r.mu.Unlock()
+		r.metrics.CacheHit()
+		return e.study, nil
+	}
+	bc, joined := r.inflight[key]
+	if joined {
+		bc.waiters++
+	} else {
+		bctx, cancel := context.WithCancel(context.Background())
+		bc = &buildCall{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		r.inflight[key] = bc
+		go r.run(bctx, key, cfg, bc)
+	}
+	r.mu.Unlock()
+	r.metrics.CacheMiss(joined)
+
+	select {
+	case <-bc.done:
+		return bc.study, bc.err
+	case <-ctx.Done():
+		r.mu.Lock()
+		bc.waiters--
+		abandoned := bc.waiters == 0
+		r.mu.Unlock()
+		if abandoned {
+			bc.cancel()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// run executes one build and publishes its result. A panicking build
+// becomes an error for its waiters: builds run outside any request
+// goroutine, so the HTTP panic-recovery middleware cannot catch them.
+func (r *registry) run(ctx context.Context, key string, cfg StudyConfig, bc *buildCall) {
+	defer bc.cancel()
+	r.metrics.BuildStarted()
+	study, err := func() (st *rainshine.Study, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				st, err = nil, fmt.Errorf("server: study build panicked: %v", p)
+			}
+		}()
+		return r.build(ctx, cfg)
+	}()
+
+	r.mu.Lock()
+	bc.study, bc.err = study, err
+	delete(r.inflight, key)
+	if err == nil {
+		r.insert(&cacheEntry{key: key, study: study})
+	}
+	r.mu.Unlock()
+	close(bc.done)
+
+	switch {
+	case err == nil:
+		r.metrics.BuildCompleted()
+	case context.Cause(ctx) != nil:
+		r.metrics.BuildCanceled()
+	default:
+		r.metrics.BuildFailed()
+	}
+}
+
+// touch moves e to the front of the LRU order. Caller holds r.mu.
+func (r *registry) touch(e *cacheEntry) {
+	for i, x := range r.order {
+		if x == e {
+			copy(r.order[1:i+1], r.order[:i])
+			r.order[0] = e
+			return
+		}
+	}
+}
+
+// insert adds a fresh entry, evicting from the LRU tail past capacity.
+// Caller holds r.mu.
+func (r *registry) insert(e *cacheEntry) {
+	if old, ok := r.byKey[e.key]; ok {
+		// A racing build of the same key landed first; keep the old
+		// entry (identical by determinism) and just refresh it.
+		r.touch(old)
+		return
+	}
+	r.byKey[e.key] = e
+	r.order = append([]*cacheEntry{e}, r.order...)
+	for len(r.order) > r.capacity {
+		last := r.order[len(r.order)-1]
+		r.order = r.order[:len(r.order)-1]
+		delete(r.byKey, last.key)
+		r.metrics.CacheEvicted()
+	}
+	r.metrics.CacheSize(len(r.order))
+}
+
+// Len reports the number of cached studies.
+func (r *registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}

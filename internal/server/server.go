@@ -1,0 +1,271 @@
+// Package server is the rainshine analysis daemon: the paper's Q1-Q3
+// operator questions (plus failure prediction and data quality) served
+// as a JSON HTTP API instead of one-shot batch runs.
+//
+// The core is a study registry — studies are keyed by canonicalized
+// simulation config, built at most once under concurrent demand
+// (singleflight), held in a size-bounded LRU, and evaluated concurrently
+// by request goroutines. Determinism makes this safe: a study is a pure
+// function of its config, so a cached study answers every future request
+// for that config byte-identically to a fresh batch run.
+//
+// Endpoints:
+//
+//	GET /v1/q1       spare provisioning     (study params + workload, hourly)
+//	GET /v1/q2       vendor comparison      (study params + ratios)
+//	GET /v1/q3       climate guidance       (study params)
+//	GET /v1/predict  failure prediction     (study params)
+//	GET /v1/quality  DataQuality report     (study params)
+//	GET /healthz     liveness probe
+//	GET /metricz     request/latency/cache/build counters
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"rainshine"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// CacheSize bounds the study LRU (default 4 — full-scale studies
+	// hold the whole fleet's telemetry, so the cache is deliberately
+	// small).
+	CacheSize int
+	// Timeout bounds each request end-to-end, including any study build
+	// it triggers (default 5m; full-scale builds take tens of seconds).
+	Timeout time.Duration
+	// Logf sinks request-path diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
+
+	// build overrides study construction (tests).
+	build buildFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 4
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 5 * time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Server is the daemon: registry + metrics + HTTP handlers.
+type Server struct {
+	cfg     Config
+	reg     *registry
+	metrics *Metrics
+	handler http.Handler
+}
+
+// New assembles a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	s := &Server{
+		cfg:     cfg,
+		metrics: m,
+		reg:     newRegistry(cfg.CacheSize, m, cfg.build),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metricz", s.handleMetricz)
+	mux.HandleFunc("GET /v1/q1", s.handleQ1)
+	mux.HandleFunc("GET /v1/q2", s.handleQ2)
+	mux.HandleFunc("GET /v1/q3", s.handleQ3)
+	mux.HandleFunc("GET /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /v1/quality", s.handleQuality)
+	s.handler = s.instrument(s.recover(s.timeout(mux)))
+	return s
+}
+
+// Handler returns the fully-wrapped HTTP handler (metrics, panic
+// recovery, per-request timeout, routing).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics exposes the collector (the CLI logs a summary on shutdown).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON encodes v; an encoding failure (a bug — report types are
+// JSON-stable by contract) degrades to a 500.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		s.cfg.Logf("server: encoding response: %v", err)
+		status = http.StatusInternalServerError
+		buf = []byte(`{"error":"internal: response encoding failed"}`)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(buf, '\n'))
+}
+
+// writeError maps err to an HTTP status: bad params are the caller's
+// fault, deadline/cancel map to timeout, everything else is internal.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+		err = fmt.Errorf("request deadline exceeded (%s): %w", s.cfg.Timeout, err)
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request (nginx convention)
+	}
+	s.writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument records per-endpoint counts and latency.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		s.metrics.Observe(r.URL.Path, time.Since(start), rec.status >= 400)
+	})
+}
+
+// recover converts handler panics into 500s instead of killing the
+// connection (and, pre-Go1.8-style, the daemon's other requests).
+func (s *Server) recover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.cfg.Logf("server: panic serving %s: %v\n%s", r.URL.Path, p, debug.Stack())
+				s.writeJSON(w, http.StatusInternalServerError,
+					apiError{Error: fmt.Sprintf("internal: panic: %v", p)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// timeout bounds each request's context; study builds triggered by the
+// request observe the same deadline through the registry.
+func (s *Server) timeout(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// resolve parses the shared simulation params and gets-or-builds the
+// study through the registry. Callers must have validated their own
+// evaluation params first, so a malformed request never triggers a
+// (potentially minutes-long) study build.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*rainshine.Study, bool) {
+	cfg, err := parseStudyConfig(r.URL.Query())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	st, err := s.reg.Study(r.Context(), cfg)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return nil, false
+	}
+	return st, true
+}
+
+// evaluate runs one study analysis and writes the report or the error.
+func (s *Server) evaluate(w http.ResponseWriter, rep any, err error) {
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleQ1(w http.ResponseWriter, r *http.Request) {
+	wl, hourly, err := parseQ1Params(r.URL.Query())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	rep, err := st.SpareProvisioning(wl, hourly)
+	s.evaluate(w, rep, err)
+}
+
+func (s *Server) handleQ2(w http.ResponseWriter, r *http.Request) {
+	ratios, err := parseRatios(r.URL.Query())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	rep, err := st.VendorComparison(ratios...)
+	s.evaluate(w, rep, err)
+}
+
+func (s *Server) handleQ3(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	rep, err := st.ClimateGuidance()
+	s.evaluate(w, rep, err)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	rep, err := st.FailurePrediction()
+	s.evaluate(w, rep, err)
+}
+
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	rep, err := st.Quality()
+	s.evaluate(w, rep, err)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, struct {
+		Status        string  `json:"status"`
+		CachedStudies int     `json:"cached_studies"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}{"ok", s.reg.Len(), time.Since(s.metrics.start).Seconds()})
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cfg.CacheSize))
+}

@@ -1,0 +1,409 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rainshine"
+)
+
+func TestStudyConfigKeyCanonicalization(t *testing.T) {
+	zero := StudyConfig{}
+	explicit := StudyConfig{Seed: 42, Days: 930, Racks: [2]int{331, 290}}
+	if zero.Key() != explicit.Key() {
+		t.Errorf("default and explicit-default keys differ:\n%s\n%s", zero.Key(), explicit.Key())
+	}
+	other := StudyConfig{Seed: 43}
+	if zero.Key() == other.Key() {
+		t.Error("distinct seeds share a key")
+	}
+	dirty := StudyConfig{Faults: true}
+	if zero.Key() == dirty.Key() {
+		t.Error("dirty and clean configs share a key")
+	}
+}
+
+// fakeBuild returns a build func that counts invocations and returns a
+// distinct (nil-backed, never dereferenced) study per call site.
+func fakeBuild(calls *atomic.Int64, delay time.Duration) buildFunc {
+	return func(ctx context.Context, cfg StudyConfig) (*rainshine.Study, error) {
+		calls.Add(1)
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return &rainshine.Study{}, nil
+	}
+}
+
+func TestRegistrySingleflight(t *testing.T) {
+	var calls atomic.Int64
+	m := NewMetrics()
+	reg := newRegistry(4, m, fakeBuild(&calls, 20*time.Millisecond))
+
+	const clients = 64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := reg.Study(context.Background(), StudyConfig{Seed: 7}); err != nil {
+				t.Errorf("Study: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Errorf("build ran %d times, want 1", n)
+	}
+	snap := m.Snapshot(4)
+	if snap.Builds.Started != 1 || snap.Builds.Completed != 1 {
+		t.Errorf("builds = %+v, want 1 started/completed", snap.Builds)
+	}
+	// Every lookup either hit the cache (arrived after the build) or
+	// was a miss; all misses but the build-starter piggybacked.
+	if snap.Cache.Hits+snap.Cache.Misses != clients {
+		t.Errorf("hits+misses = %d+%d, want %d", snap.Cache.Hits, snap.Cache.Misses, clients)
+	}
+	if snap.Cache.DedupJoins != snap.Cache.Misses-1 {
+		t.Errorf("dedup joins = %d, want misses-1 = %d", snap.Cache.DedupJoins, snap.Cache.Misses-1)
+	}
+
+	// A follow-up lookup is a pure cache hit.
+	hitsBefore := snap.Cache.Hits
+	if _, err := reg.Study(context.Background(), StudyConfig{Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot(4).Cache.Hits; got != hitsBefore+1 {
+		t.Errorf("hits = %d, want %d", got, hitsBefore+1)
+	}
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	var calls atomic.Int64
+	m := NewMetrics()
+	reg := newRegistry(2, m, fakeBuild(&calls, 0))
+
+	for seed := uint64(1); seed <= 3; seed++ {
+		if _, err := reg.Study(context.Background(), StudyConfig{Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if reg.Len() != 2 {
+		t.Errorf("cache len = %d, want 2", reg.Len())
+	}
+	if got := m.Snapshot(2).Cache.Evictions; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	// Seed 1 was evicted (LRU tail): asking again rebuilds.
+	before := calls.Load()
+	if _, err := reg.Study(context.Background(), StudyConfig{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != before+1 {
+		t.Error("evicted study did not rebuild")
+	}
+	// Seed 3 is still resident: no rebuild.
+	before = calls.Load()
+	if _, err := reg.Study(context.Background(), StudyConfig{Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != before {
+		t.Error("resident study rebuilt")
+	}
+}
+
+func TestRegistryTouchKeepsHotEntry(t *testing.T) {
+	var calls atomic.Int64
+	reg := newRegistry(2, NewMetrics(), fakeBuild(&calls, 0))
+	bg := context.Background()
+	reg.Study(bg, StudyConfig{Seed: 1})
+	reg.Study(bg, StudyConfig{Seed: 2})
+	reg.Study(bg, StudyConfig{Seed: 1}) // touch: 1 becomes MRU
+	reg.Study(bg, StudyConfig{Seed: 3}) // evicts 2, not 1
+	before := calls.Load()
+	reg.Study(bg, StudyConfig{Seed: 1})
+	if calls.Load() != before {
+		t.Error("touched entry was evicted")
+	}
+}
+
+func TestRegistryAbandonedBuildCancels(t *testing.T) {
+	canceled := make(chan struct{})
+	build := func(ctx context.Context, cfg StudyConfig) (*rainshine.Study, error) {
+		<-ctx.Done()
+		close(canceled)
+		return nil, ctx.Err()
+	}
+	m := NewMetrics()
+	reg := newRegistry(4, m, build)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := reg.Study(ctx, StudyConfig{Seed: 9}); err == nil {
+		t.Fatal("abandoned Study returned no error")
+	}
+	select {
+	case <-canceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("build never saw cancellation after its last waiter left")
+	}
+	// The canceled build must not be cached, and must be counted.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if m.Snapshot(4).Builds.Canceled == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("builds = %+v, want 1 canceled", m.Snapshot(4).Builds)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if reg.Len() != 0 {
+		t.Error("canceled build was cached")
+	}
+}
+
+func TestRegistryBuildErrorNotCached(t *testing.T) {
+	var calls atomic.Int64
+	build := func(ctx context.Context, cfg StudyConfig) (*rainshine.Study, error) {
+		calls.Add(1)
+		return nil, context.DeadlineExceeded
+	}
+	m := NewMetrics()
+	reg := newRegistry(4, m, build)
+	for i := 0; i < 2; i++ {
+		if _, err := reg.Study(context.Background(), StudyConfig{Seed: 5}); err == nil {
+			t.Fatal("build error not surfaced")
+		}
+	}
+	if calls.Load() != 2 {
+		t.Errorf("failed build was cached: %d calls, want 2", calls.Load())
+	}
+	if reg.Len() != 0 {
+		t.Error("failed build entered the LRU")
+	}
+}
+
+func TestRegistryBuildPanicBecomesError(t *testing.T) {
+	build := func(ctx context.Context, cfg StudyConfig) (*rainshine.Study, error) {
+		panic("kaboom")
+	}
+	reg := newRegistry(4, NewMetrics(), build)
+	_, err := reg.Study(context.Background(), StudyConfig{})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("err = %v, want build panic surfaced", err)
+	}
+}
+
+func TestParseStudyConfig(t *testing.T) {
+	good := url.Values{"seed": {"7"}, "days": {"120"}, "racks": {"12,10"}, "faults": {"true"}}
+	cfg, err := parseStudyConfig(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := StudyConfig{Seed: 7, Days: 120, Racks: [2]int{12, 10}, Faults: true}
+	if cfg != want {
+		t.Errorf("cfg = %+v, want %+v", cfg, want)
+	}
+	if d := mustParse(t, url.Values{}); d != (StudyConfig{Seed: 42, Days: 930, Racks: [2]int{331, 290}}) {
+		t.Errorf("defaults = %+v", d)
+	}
+	bad := []url.Values{
+		{"seed": {"-1"}},
+		{"seed": {"x"}},
+		{"days": {"0"}},
+		{"days": {"99999"}},
+		{"racks": {"12"}},
+		{"racks": {"0,10"}},   // the validation satellite: zero rejected
+		{"racks": {"12,-10"}}, // ... and negative
+		{"racks": {"a,b"}},
+		{"faults": {"maybe"}},
+	}
+	for _, q := range bad {
+		if _, err := parseStudyConfig(q); err == nil {
+			t.Errorf("parseStudyConfig(%v) should error", q)
+		}
+	}
+}
+
+func mustParse(t *testing.T, q url.Values) StudyConfig {
+	t.Helper()
+	cfg, err := parseStudyConfig(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestParseQ1Params(t *testing.T) {
+	wl, hourly, err := parseQ1Params(url.Values{"workload": {"w3"}, "hourly": {"true"}})
+	if err != nil || wl != rainshine.W3 || !hourly {
+		t.Errorf("got %v %v %v", wl, hourly, err)
+	}
+	if wl, hourly, err = parseQ1Params(url.Values{}); err != nil || wl != rainshine.W6 || hourly {
+		t.Errorf("defaults: %v %v %v", wl, hourly, err)
+	}
+	for _, q := range []url.Values{{"workload": {"W9"}}, {"hourly": {"x"}}} {
+		if _, _, err := parseQ1Params(q); err == nil {
+			t.Errorf("parseQ1Params(%v) should error", q)
+		}
+	}
+}
+
+func TestParseRatios(t *testing.T) {
+	rs, err := parseRatios(url.Values{"ratios": {"1.0, 1.5,2"}})
+	if err != nil || len(rs) != 3 || rs[2] != 2 {
+		t.Errorf("got %v %v", rs, err)
+	}
+	if rs, err = parseRatios(url.Values{}); err != nil || rs != nil {
+		t.Errorf("default: %v %v", rs, err)
+	}
+	for _, v := range []string{"0", "-1", "x", "1.0,,2"} {
+		if _, err := parseRatios(url.Values{"ratios": {v}}); err == nil {
+			t.Errorf("parseRatios(%q) should error", v)
+		}
+	}
+}
+
+func TestMetricsLatencyQuantiles(t *testing.T) {
+	m := NewMetrics()
+	for i := 1; i <= 100; i++ {
+		m.Observe("/v1/q3", time.Duration(i)*time.Millisecond, false)
+	}
+	es := m.Snapshot(1).Requests["/v1/q3"]
+	if es.Count != 100 || es.Errors != 0 {
+		t.Errorf("count/errors = %d/%d", es.Count, es.Errors)
+	}
+	lat := es.LatencyMS
+	if lat.P50 < 45 || lat.P50 > 55 || lat.P99 < 95 || lat.Max != 100 {
+		t.Errorf("latency quantiles off: %+v", lat)
+	}
+}
+
+// discard spins up a test server with the given build func.
+func testServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode, m
+}
+
+func TestHealthzAndMetricz(t *testing.T) {
+	var calls atomic.Int64
+	ts := testServer(t, Config{CacheSize: 2, build: fakeBuild(&calls, 0), Logf: t.Logf})
+
+	code, body := getJSON(t, ts.URL+"/healthz")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("healthz = %d %v", code, body)
+	}
+	code, body = getJSON(t, ts.URL+"/metricz")
+	if code != http.StatusOK {
+		t.Errorf("metricz status = %d", code)
+	}
+	for _, k := range []string{"uptime_seconds", "requests", "cache", "builds"} {
+		if _, ok := body[k]; !ok {
+			t.Errorf("metricz missing %q: %v", k, body)
+		}
+	}
+}
+
+func TestBadParamsAre400(t *testing.T) {
+	var calls atomic.Int64
+	ts := testServer(t, Config{build: fakeBuild(&calls, 0), Logf: t.Logf})
+	urls := []string{
+		"/v1/q1?racks=0,10",
+		"/v1/q1?workload=W9",
+		"/v1/q2?ratios=-1",
+		"/v1/q3?days=bogus",
+		"/v1/predict?seed=-3",
+		"/v1/quality?faults=perhaps",
+	}
+	for _, u := range urls {
+		code, body := getJSON(t, ts.URL+u)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s = %d %v, want 400", u, code, body)
+		}
+		if body["error"] == "" {
+			t.Errorf("%s: missing error message", u)
+		}
+	}
+	if calls.Load() != 0 {
+		t.Errorf("bad params triggered %d study builds", calls.Load())
+	}
+}
+
+func TestUnknownRouteAndMethod(t *testing.T) {
+	var calls atomic.Int64
+	ts := testServer(t, Config{build: fakeBuild(&calls, 0), Logf: t.Logf})
+	resp, err := http.Get(ts.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown route = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/q3", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	// A nil study makes every evaluation handler dereference nil; the
+	// recovery middleware must convert that into a JSON 500, not a
+	// dropped connection.
+	build := func(ctx context.Context, cfg StudyConfig) (*rainshine.Study, error) {
+		return nil, nil
+	}
+	ts := testServer(t, Config{build: build, Logf: t.Logf})
+	code, body := getJSON(t, ts.URL+"/v1/q3")
+	if code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", code)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "panic") {
+		t.Errorf("error = %v, want panic mention", body["error"])
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	build := func(ctx context.Context, cfg StudyConfig) (*rainshine.Study, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	ts := testServer(t, Config{Timeout: 30 * time.Millisecond, build: build, Logf: t.Logf})
+	code, body := getJSON(t, ts.URL+"/v1/q3")
+	if code != http.StatusGatewayTimeout {
+		t.Errorf("status = %d %v, want 504", code, body)
+	}
+}

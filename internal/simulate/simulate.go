@@ -12,6 +12,7 @@
 package simulate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -132,6 +133,15 @@ const maxRepairHours = 14 * 24
 
 // Run executes a full simulation.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes a full simulation under ctx. Cancellation is
+// checked between construction phases and before each rack's event walk,
+// so an abandoned caller stops paying for simulation within one rack's
+// worth of work. A canceled run returns ctx's error; partial results are
+// never returned.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Days < 1 {
 		return nil, errors.New("simulate: non-positive day count")
@@ -141,9 +151,15 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("simulate: building fleet: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	clim, err := climate.New(root.Split("climate"), fleet, cfg.Days)
 	if err != nil {
 		return nil, fmt.Errorf("simulate: building climate: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	params := failure.DefaultParams()
 	if cfg.Params != nil {
@@ -176,6 +192,12 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for ri := range next {
+				// Cancellation checkpoint: once the caller is gone, drain
+				// the remaining racks without simulating them.
+				if err := ctx.Err(); err != nil {
+					errs[ri] = err
+					continue
+				}
 				rack := &fleet.Racks[ri]
 				rsrc := root.SplitIndex("events/rack", ri)
 				perRack[ri], errs[ri] = simulateRack(res, rack, rsrc)
@@ -187,6 +209,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for ri, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("simulate: rack %d: %w", ri, err)

@@ -1,6 +1,8 @@
 package simulate
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -305,5 +307,52 @@ func TestDeviceIdentityAndRepeats(t *testing.T) {
 		if maxOcc[k] != c {
 			t.Fatalf("device %v: %d tickets but max repeat %d", k, c, maxOcc[k])
 		}
+	}
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, smallCfg()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	// Cancel from another goroutine while the rack walk is running; the
+	// run must abort with the context's error, never partial results.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { cancel(); close(done) }()
+	res, err := RunContext(ctx, smallCfg())
+	<-done
+	if err == nil {
+		// The run may legitimately win the race and finish first; only a
+		// cancellation observed mid-run must surface as an error.
+		if res == nil {
+			t.Fatal("nil result without error")
+		}
+		return
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("canceled run returned partial results")
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	a, err := Run(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) || len(a.Tickets) != len(b.Tickets) {
+		t.Fatalf("RunContext diverges from Run: %d/%d events, %d/%d tickets",
+			len(a.Events), len(b.Events), len(a.Tickets), len(b.Tickets))
 	}
 }

@@ -187,11 +187,11 @@ func MFSignificance(f *frame.Frame, a, b topology.SKU) (*Significance, error) {
 
 // Verdict is the outcome of a procurement TCO comparison of two SKUs.
 type Verdict struct {
-	PriceRatio float64
+	PriceRatio float64 `json:"price_ratio"`
 	// SavingsSF / SavingsMF are the relative TCO savings of buying the
 	// "reliable" SKU, as estimated from the SF and MF failure views.
-	SavingsSF float64
-	SavingsMF float64
+	SavingsSF float64 `json:"savings_sf"`
+	SavingsMF float64 `json:"savings_mf"`
 }
 
 // CompareTCO evaluates procuring candidate (e.g. S4) instead of baseline

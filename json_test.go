@@ -1,0 +1,151 @@
+package rainshine
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// roundTrip marshals v, unmarshals into fresh (zeroed *T), re-marshals,
+// and asserts byte-stability — the property the serve API relies on:
+// encode(decode(encode(x))) == encode(x). It also rejects any NaN/Inf
+// leaking into the encoding (encoding/json would error, but guard the
+// text too) and requires every exported field to appear under a
+// snake_case key, i.e. struct tags are present.
+func roundTrip[T any](t *testing.T, v *T) []byte {
+	t.Helper()
+	first, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if bytes.Contains(first, []byte(bad)) {
+			t.Errorf("%T encoding leaks %s: %s", v, bad, first)
+		}
+	}
+	// Struct tags: encoding/json only emits Go-cased names when a tag is
+	// missing; all our wire names are lower snake_case.
+	var generic map[string]json.RawMessage
+	if err := json.Unmarshal(first, &generic); err != nil {
+		t.Fatalf("unmarshal %T to map: %v", v, err)
+	}
+	for k := range generic {
+		if k != strings.ToLower(k) {
+			t.Errorf("%T: field %q escaped without a struct tag", v, k)
+		}
+	}
+	decoded := new(T)
+	if err := json.Unmarshal(first, decoded); err != nil {
+		t.Fatalf("unmarshal %T: %v", v, err)
+	}
+	second, err := json.Marshal(decoded)
+	if err != nil {
+		t.Fatalf("re-marshal %T: %v", v, err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("%T round-trip unstable:\nfirst:  %s\nsecond: %s", v, first, second)
+	}
+	return first
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	s := testStudy(t)
+
+	q1, err := s.SpareProvisioning(W6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := roundTrip(t, q1)
+	for _, key := range []string{`"workload"`, `"overprov_pct"`, `"tco_savings_pct"`, `"clusters"`, `"data_coverage"`} {
+		if !bytes.Contains(body, []byte(key)) {
+			t.Errorf("q1 JSON missing %s: %.200s", key, body)
+		}
+	}
+
+	q2, err := s.VendorComparison(1.0, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = roundTrip(t, q2)
+	for _, key := range []string{`"ratio_sf"`, `"ratio_mf"`, `"verdicts"`, `"price_ratio"`, `"p_value"`} {
+		if !bytes.Contains(body, []byte(key)) {
+			t.Errorf("q2 JSON missing %s: %.200s", key, body)
+		}
+	}
+
+	q3, err := s.ClimateGuidance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = roundTrip(t, q3)
+	for _, key := range []string{`"temp_threshold_f"`, `"rh_threshold"`, `"hot_penalty"`} {
+		if !bytes.Contains(body, []byte(key)) {
+			t.Errorf("q3 JSON missing %s: %.200s", key, body)
+		}
+	}
+
+	pred, err := s.FailurePrediction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = roundTrip(t, pred)
+	for _, key := range []string{`"precision"`, `"auc"`, `"top_factors"`, `"train_rows"`} {
+		if !bytes.Contains(body, []byte(key)) {
+			t.Errorf("predict JSON missing %s: %.200s", key, body)
+		}
+	}
+
+	qual, err := s.Quality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = roundTrip(t, qual)
+	for _, key := range []string{`"tickets_in"`, `"coverage"`, `"sensor_samples"`} {
+		if !bytes.Contains(body, []byte(key)) {
+			t.Errorf("quality JSON missing %s: %.200s", key, body)
+		}
+	}
+}
+
+// TestReportJSONNonFinite pins the NaN/Inf contract directly: undefined
+// values encode as null and decode back to NaN, so reports from
+// degenerate inputs (no RH split, undefined precision) stay servable.
+func TestReportJSONNonFinite(t *testing.T) {
+	cr := &ClimateReport{
+		TempThresholdF: 78,
+		RHThreshold:    math.NaN(),
+		HotPenalty:     map[string]float64{"DC1": 1.5},
+		DryPenalty:     map[string]float64{},
+		DataCoverage:   1,
+	}
+	buf := roundTrip(t, cr)
+	if !bytes.Contains(buf, []byte(`"rh_threshold":null`)) {
+		t.Errorf("NaN RH threshold should encode as null: %s", buf)
+	}
+	var back ClimateReport
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(back.RHThreshold) {
+		t.Errorf("null should decode to NaN, got %v", back.RHThreshold)
+	}
+	if back.TempThresholdF != 78 {
+		t.Errorf("finite threshold mangled: %v", back.TempThresholdF)
+	}
+
+	pr := &PredictionReport{Precision: math.Inf(1), Recall: 0.5, AUC: math.NaN()}
+	buf = roundTrip(t, pr)
+	for _, key := range []string{`"precision":null`, `"auc":null`, `"recall":0.5`} {
+		if !bytes.Contains(buf, []byte(key)) {
+			t.Errorf("prediction encoding missing %s: %s", key, buf)
+		}
+	}
+
+	vr := &VendorReport{RatioSF: 10, RatioMF: 4, PValue: math.NaN()}
+	buf = roundTrip(t, vr)
+	if !bytes.Contains(buf, []byte(`"p_value":null`)) {
+		t.Errorf("NaN p-value should encode as null: %s", buf)
+	}
+}

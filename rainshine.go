@@ -17,9 +17,12 @@
 package rainshine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"rainshine/internal/bms"
 	"rainshine/internal/cart"
@@ -40,6 +43,10 @@ import (
 	"rainshine/internal/topology"
 )
 
+// DefaultSeed is the root seed a Study uses when none is given; it
+// regenerates the exact numbers recorded in EXPERIMENTS.md.
+const DefaultSeed = rng.DefaultSeed
+
 // Workload identifies a hosted workload category (W1-W7, Table III).
 type Workload = topology.Workload
 
@@ -53,6 +60,41 @@ const (
 	W6 = topology.W6
 	W7 = topology.W7
 )
+
+// ParseWorkload resolves a workload name ("W1".."W7", case-insensitive).
+func ParseWorkload(s string) (Workload, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	for w := W1; w <= W7; w++ {
+		if w.String() == u {
+			return w, nil
+		}
+	}
+	return 0, fmt.Errorf("rainshine: unknown workload %q (want W1..W7)", s)
+}
+
+// ParseRacks parses and validates a "dc1,dc2" rack-count pair. Both
+// counts must be positive: topology construction treats non-positive
+// overrides as "use the paper default", so letting them through would
+// silently run a full 621-rack study. The CLI -racks flag and the
+// server's racks query parameter share this validation.
+func ParseRacks(s string) (dc1, dc2 int, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("rainshine: racks want dc1,dc2 counts, got %q", s)
+	}
+	a, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("rainshine: parsing racks: %w", err)
+	}
+	b, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("rainshine: parsing racks: %w", err)
+	}
+	if a <= 0 || b <= 0 {
+		return 0, 0, fmt.Errorf("rainshine: rack counts must be positive, got %d,%d", a, b)
+	}
+	return a, b, nil
+}
 
 // SKU identifies a server configuration (S1-S7, Table III).
 type SKU = topology.SKU
@@ -130,12 +172,23 @@ type Study struct {
 
 // NewStudy simulates the fleet and returns a Study.
 func NewStudy(opts ...Option) (*Study, error) {
+	return NewStudyContext(context.Background(), opts...)
+}
+
+// NewStudyContext is NewStudy under a context: when ctx is canceled the
+// simulation stops at its next checkpoint and the context's error is
+// returned. Long-running services (the `rainshine serve` daemon) use
+// this so abandoned requests stop simulating.
+func NewStudyContext(ctx context.Context, opts ...Option) (*Study, error) {
 	cfg := simulate.Config{Seed: rng.DefaultSeed}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	d, err := figures.NewData(cfg)
+	d, err := figures.NewDataContext(ctx, cfg)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("rainshine: %w", err)
 	}
 	return &Study{data: d}, nil
@@ -162,32 +215,32 @@ func (s *Study) Days() int { return s.data.Res.Days }
 // each approach needs per SLA, the TCO savings of MF over SF, and the MF
 // clusters with their defining factor conditions.
 type SpareReport struct {
-	Workload    string
-	Granularity string
-	SLAs        []float64
+	Workload    string    `json:"workload"`
+	Granularity string    `json:"granularity"`
+	SLAs        []float64 `json:"slas"`
 	// OverprovPct[approach][i] is percent capacity over-provisioned at
 	// SLAs[i]; approaches are "LB", "MF", "SF".
-	OverprovPct map[string][]float64
+	OverprovPct map[string][]float64 `json:"overprov_pct"`
 	// TCOSavingsPct[i] is the relative TCO savings of MF over SF.
-	TCOSavingsPct []float64
+	TCOSavingsPct []float64 `json:"tco_savings_pct"`
 	// Clusters describes each MF rack group: its defining conditions
 	// and its spare requirement.
-	Clusters []ClusterInfo
+	Clusters []ClusterInfo `json:"clusters,omitempty"`
 	// FactorRanking orders the factors by their importance in forming
 	// the clusters.
-	FactorRanking []string
+	FactorRanking []string `json:"factor_ranking,omitempty"`
 	// DataCoverage is the fraction of recorded telemetry (min of ticket
 	// and sensor coverage) backing this analysis; 1.0 on clean studies.
-	DataCoverage float64
+	DataCoverage float64 `json:"data_coverage"`
 }
 
 // ClusterInfo describes one MF rack cluster.
 type ClusterInfo struct {
-	Racks      int
-	Conditions string
+	Racks      int    `json:"racks"`
+	Conditions string `json:"conditions"`
 	// ReqPct is the spare fraction (percent) this cluster provisions at
 	// 100% availability.
-	ReqPct float64
+	ReqPct float64 `json:"req_pct"`
 }
 
 // SpareProvisioning runs Q1-A for the workload at daily or hourly
@@ -252,19 +305,20 @@ func (s *Study) SpareProvisioning(wl Workload, hourly bool) (*SpareReport, error
 type VendorReport struct {
 	// RatioSF and RatioMF are the S2:S4 average-failure-rate ratios the
 	// two approaches estimate (paper: ~10x vs ~4x).
-	RatioSF float64
-	RatioMF float64
+	RatioSF float64 `json:"ratio_sf"`
+	RatioMF float64 `json:"ratio_mf"`
 	// Verdicts hold the TCO savings of procuring S4 instead of S2, per
 	// price ratio, under each approach's failure estimates.
-	Verdicts []skucmp.Verdict
+	Verdicts []skucmp.Verdict `json:"verdicts"`
 	// PValue is the two-sided paired-test p-value for the adjusted
 	// S2-vs-S4 contrast across covariate strata (the paper's confidence
 	// check); Strata is the number of strata observing both SKUs.
-	PValue float64
-	Strata int
+	// Encodes as null when the test is undefined (too few strata).
+	PValue float64 `json:"p_value"`
+	Strata int     `json:"strata"`
 	// DataCoverage is the fraction of recorded telemetry (min of ticket
 	// and sensor coverage) backing this analysis; 1.0 on clean studies.
-	DataCoverage float64
+	DataCoverage float64 `json:"data_coverage"`
 }
 
 // VendorComparison runs Q2 for the paper's two compute SKUs at the given
@@ -447,14 +501,20 @@ func (s *Study) EnvironmentAlarms() ([]bms.Summary, error) {
 // trained on the first part of the window and evaluated on the rest.
 type PredictionReport struct {
 	// Precision, Recall, F1, Accuracy, AUC evaluate the alarm quality
-	// on the held-out time range.
-	Precision, Recall, F1, Accuracy, AUC float64
+	// on the held-out time range. Undefined metrics (e.g. precision
+	// with no positive predictions) encode as null.
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	Accuracy  float64 `json:"accuracy"`
+	AUC       float64 `json:"auc"`
 	// PositiveRate is the test-split base rate of failure rack-days.
-	PositiveRate float64
+	PositiveRate float64 `json:"positive_rate"`
 	// TopFactors ranks the predictive factors.
-	TopFactors []string
+	TopFactors []string `json:"top_factors,omitempty"`
 	// TrainRows and TestRows size the time-ordered split.
-	TrainRows, TestRows int
+	TrainRows int `json:"train_rows"`
+	TestRows  int `json:"test_rows"`
 }
 
 // FailurePrediction trains and evaluates the rack-day failure predictor
@@ -486,23 +546,26 @@ func (s *Study) FailurePrediction() (*PredictionReport, error) {
 // and the failure-rate penalty of operating outside them, per DC.
 type ClimateReport struct {
 	// TempThresholdF is the discovered temperature split (paper: 78 F).
-	TempThresholdF float64
-	// RHThreshold is the humidity split inside the hot regime (paper: 25%).
-	RHThreshold float64
+	// Encodes as null when no temperature split was found.
+	TempThresholdF float64 `json:"temp_threshold_f"`
+	// RHThreshold is the humidity split inside the hot regime (paper:
+	// 25%). NaN — encoded as null — when no humidity split was found.
+	RHThreshold float64 `json:"rh_threshold"`
 	// HotPenalty[dc] is the multiplicative disk-failure increase above
 	// the temperature threshold (paper DC1: ~1.5x; DC2: ~1x).
-	HotPenalty map[string]float64
+	HotPenalty map[string]float64 `json:"hot_penalty"`
 	// DryPenalty[dc] is the further increase when also below the RH
 	// threshold (paper DC1: ~1.25x).
-	DryPenalty map[string]float64
-	// Tree is the fitted MF model for inspection.
-	Tree *cart.Tree
+	DryPenalty map[string]float64 `json:"dry_penalty"`
+	// Tree is the fitted MF model for in-process inspection; it does not
+	// participate in the JSON encoding.
+	Tree *cart.Tree `json:"-"`
 	// DataCoverage is the fraction of usable cells/telemetry backing
 	// the analysis (1.0 when nothing was quarantined or missing).
-	DataCoverage float64
+	DataCoverage float64 `json:"data_coverage"`
 	// MissingFeatures lists candidate factors the input did not carry;
 	// the analysis degraded to the remaining factors.
-	MissingFeatures []string
+	MissingFeatures []string `json:"missing_features,omitempty"`
 }
 
 // ClimateGuidance runs Q3 over the study's rack-day data.

@@ -1,0 +1,126 @@
+// JSON encoding for the report types. encoding/json rejects NaN and
+// ±Inf outright, and several report fields are NaN by design (an RH
+// threshold that was never found, a p-value with too few strata, a
+// precision with no positive predictions). The custom marshalers below
+// map non-finite values to JSON null in both directions, so every
+// report type round-trips stably — the contract the `rainshine serve`
+// API relies on.
+package rainshine
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// finitePtr boxes v for encoding, with non-finite values becoming null.
+func finitePtr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// floatVal unboxes a decoded pointer; null decodes to NaN.
+func floatVal(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
+}
+
+// MarshalJSON encodes the report with undefined thresholds as null.
+func (r ClimateReport) MarshalJSON() ([]byte, error) {
+	type alias ClimateReport
+	return json.Marshal(struct {
+		alias
+		TempThresholdF *float64 `json:"temp_threshold_f"`
+		RHThreshold    *float64 `json:"rh_threshold"`
+	}{alias(r), finitePtr(r.TempThresholdF), finitePtr(r.RHThreshold)})
+}
+
+// UnmarshalJSON inverts MarshalJSON (null thresholds decode to NaN).
+func (r *ClimateReport) UnmarshalJSON(b []byte) error {
+	type alias ClimateReport
+	aux := struct {
+		*alias
+		TempThresholdF *float64 `json:"temp_threshold_f"`
+		RHThreshold    *float64 `json:"rh_threshold"`
+	}{alias: (*alias)(r)}
+	if err := json.Unmarshal(b, &aux); err != nil {
+		return err
+	}
+	r.TempThresholdF = floatVal(aux.TempThresholdF)
+	r.RHThreshold = floatVal(aux.RHThreshold)
+	return nil
+}
+
+// MarshalJSON encodes the report with an undefined p-value or ratio as
+// null.
+func (r VendorReport) MarshalJSON() ([]byte, error) {
+	type alias VendorReport
+	return json.Marshal(struct {
+		alias
+		RatioSF *float64 `json:"ratio_sf"`
+		RatioMF *float64 `json:"ratio_mf"`
+		PValue  *float64 `json:"p_value"`
+	}{alias(r), finitePtr(r.RatioSF), finitePtr(r.RatioMF), finitePtr(r.PValue)})
+}
+
+// UnmarshalJSON inverts MarshalJSON.
+func (r *VendorReport) UnmarshalJSON(b []byte) error {
+	type alias VendorReport
+	aux := struct {
+		*alias
+		RatioSF *float64 `json:"ratio_sf"`
+		RatioMF *float64 `json:"ratio_mf"`
+		PValue  *float64 `json:"p_value"`
+	}{alias: (*alias)(r)}
+	if err := json.Unmarshal(b, &aux); err != nil {
+		return err
+	}
+	r.RatioSF = floatVal(aux.RatioSF)
+	r.RatioMF = floatVal(aux.RatioMF)
+	r.PValue = floatVal(aux.PValue)
+	return nil
+}
+
+// MarshalJSON encodes the report with undefined metrics as null.
+func (r PredictionReport) MarshalJSON() ([]byte, error) {
+	type alias PredictionReport
+	return json.Marshal(struct {
+		alias
+		Precision    *float64 `json:"precision"`
+		Recall       *float64 `json:"recall"`
+		F1           *float64 `json:"f1"`
+		Accuracy     *float64 `json:"accuracy"`
+		AUC          *float64 `json:"auc"`
+		PositiveRate *float64 `json:"positive_rate"`
+	}{
+		alias(r), finitePtr(r.Precision), finitePtr(r.Recall), finitePtr(r.F1),
+		finitePtr(r.Accuracy), finitePtr(r.AUC), finitePtr(r.PositiveRate),
+	})
+}
+
+// UnmarshalJSON inverts MarshalJSON.
+func (r *PredictionReport) UnmarshalJSON(b []byte) error {
+	type alias PredictionReport
+	aux := struct {
+		*alias
+		Precision    *float64 `json:"precision"`
+		Recall       *float64 `json:"recall"`
+		F1           *float64 `json:"f1"`
+		Accuracy     *float64 `json:"accuracy"`
+		AUC          *float64 `json:"auc"`
+		PositiveRate *float64 `json:"positive_rate"`
+	}{alias: (*alias)(r)}
+	if err := json.Unmarshal(b, &aux); err != nil {
+		return err
+	}
+	r.Precision = floatVal(aux.Precision)
+	r.Recall = floatVal(aux.Recall)
+	r.F1 = floatVal(aux.F1)
+	r.Accuracy = floatVal(aux.Accuracy)
+	r.AUC = floatVal(aux.AUC)
+	r.PositiveRate = floatVal(aux.PositiveRate)
+	return nil
+}
