@@ -19,8 +19,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Full benchmark sweep, then the regression snapshot: TestBenchAnalysis
+# records ns/op + allocs/op for the hot analyses (CART fit, CV, Q3,
+# figure regeneration, predictor training) to BENCH_analysis.json.
 bench:
 	$(GO) test -bench=. -benchmem .
+	RAINSHINE_BENCH_OUT=$(CURDIR)/BENCH_analysis.json \
+		$(GO) test -run 'TestBenchAnalysis$$' -count=1 -v .
 
 # Concurrent load test against the serve daemon (32 parallel clients,
 # mixed endpoints, 3 distinct configs) under the race detector; records

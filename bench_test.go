@@ -6,17 +6,28 @@ package rainshine
 //
 // The per-experiment benchmarks share a single reduced study (the
 // simulation is deterministic, so sharing does not couple iterations)
-// and measure the cost of regenerating the experiment from raw events.
+// and measure the cost of regenerating the experiment from raw events;
+// the figure memo is off by default, so every iteration does real work.
 // Run with:
 //
 //	go test -bench=. -benchmem
+//
+// `make bench` additionally runs TestBenchAnalysis, which snapshots
+// ns/op and allocs/op for the hot analyses to BENCH_analysis.json
+// (RAINSHINE_BENCH_OUT) for regression tracking.
 
 import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
 	"sync"
 	"testing"
 
 	"rainshine/internal/cart"
 	"rainshine/internal/failure"
+	"rainshine/internal/figures"
 	"rainshine/internal/frame"
 	"rainshine/internal/metrics"
 	"rainshine/internal/predict"
@@ -34,7 +45,7 @@ var (
 )
 
 // benchData returns the shared reduced study (120+100 racks, one year).
-func benchData(b *testing.B) *Study {
+func benchData(b testing.TB) *Study {
 	b.Helper()
 	benchOnce.Do(func() {
 		s, err := NewStudy(WithSeed(42), WithDays(365), WithRacks(120, 100))
@@ -58,207 +69,88 @@ func benchErr(b *testing.B, err error) {
 	}
 }
 
-func BenchmarkTableI(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if rows := d.TableI(); len(rows) != 2 {
-			b.Fatal("bad TableI")
-		}
+// benchFig adapts a figure regenerator to the common error signature.
+func benchFig[T any](fn func(*figures.Data) (T, error)) func(*figures.Data) error {
+	return func(d *figures.Data) error {
+		_, err := fn(d)
+		return err
 	}
 }
 
-func BenchmarkTableII(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if rows := d.TableII(); len(rows) != 11 {
-			b.Fatal("bad TableII")
+// figureBenches drives BenchmarkFigures and BenchmarkFigureRegen: every
+// paper table and figure with its sanity check.
+var figureBenches = []struct {
+	name string
+	fn   func(*figures.Data) error
+}{
+	{"TableI", func(d *figures.Data) error {
+		if len(d.TableI()) != 2 {
+			return errors.New("bad TableI")
 		}
-	}
-}
-
-func BenchmarkTableIII(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if rows := d.TableIII(); len(rows) == 0 {
-			b.Fatal("bad TableIII")
+		return nil
+	}},
+	{"TableII", func(d *figures.Data) error {
+		if len(d.TableII()) != 11 {
+			return errors.New("bad TableII")
 		}
-	}
-}
-
-func BenchmarkTableIV(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+		return nil
+	}},
+	{"TableIII", func(d *figures.Data) error {
+		if len(d.TableIII()) == 0 {
+			return errors.New("bad TableIII")
+		}
+		return nil
+	}},
+	{"TableIV", func(d *figures.Data) error {
 		rows, err := d.TableIV()
-		benchErr(b, err)
-		if len(rows) != 12 {
-			b.Fatal("bad TableIV")
+		if err == nil && len(rows) != 12 {
+			err = errors.New("bad TableIV")
 		}
+		return err
+	}},
+	{"Fig1", benchFig((*figures.Data).Fig1)},
+	{"Fig2", benchFig((*figures.Data).Fig2)},
+	{"Fig3", benchFig((*figures.Data).Fig3)},
+	{"Fig4", benchFig((*figures.Data).Fig4)},
+	{"Fig5", benchFig((*figures.Data).Fig5)},
+	{"Fig6", benchFig((*figures.Data).Fig6)},
+	{"Fig7", benchFig((*figures.Data).Fig7)},
+	{"Fig8", benchFig((*figures.Data).Fig8)},
+	{"Fig9", benchFig((*figures.Data).Fig9)},
+	{"Fig10", benchFig((*figures.Data).Fig10)},
+	{"Fig11", benchFig((*figures.Data).Fig11)},
+	{"Fig12", benchFig((*figures.Data).Fig12)},
+	{"Fig13", benchFig((*figures.Data).Fig13)},
+	{"Fig14", benchFig((*figures.Data).Fig14)},
+	{"Fig15", benchFig((*figures.Data).Fig15)},
+	{"Fig16", benchFig((*figures.Data).Fig16)},
+	{"Fig17", benchFig((*figures.Data).Fig17)},
+	{"Fig18", benchFig((*figures.Data).Fig18)},
+}
+
+// BenchmarkFigures runs one sub-benchmark per paper table and figure
+// (select one with e.g. -bench=Figures/Fig7).
+func BenchmarkFigures(b *testing.B) {
+	d := benchData(b).Figures()
+	for _, fb := range figureBenches {
+		b.Run(fb.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchErr(b, fb.fn(d))
+			}
+		})
 	}
 }
 
-func BenchmarkFig1(b *testing.B) {
+// BenchmarkFigureRegen measures regenerating the complete set of paper
+// tables and figures once — the serve daemon's warmup workload on a
+// cold cache.
+func BenchmarkFigureRegen(b *testing.B) {
 	d := benchData(b).Figures()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := d.Fig1()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig2(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig2()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig3(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig3()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig4(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig4()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig5(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig5()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig6(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig6()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig7(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig7()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig8(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig8()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig9(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig9()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig10(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig10()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig11(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig11()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig12(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig12()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig13(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig13()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig14(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig14()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig15(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig15()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig16(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig16()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig17(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig17()
-		benchErr(b, err)
-	}
-}
-
-func BenchmarkFig18(b *testing.B) {
-	d := benchData(b).Figures()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := d.Fig18()
-		benchErr(b, err)
+		for _, fb := range figureBenches {
+			benchErr(b, fb.fn(d))
+		}
 	}
 }
 
@@ -331,6 +223,18 @@ func BenchmarkRackDayFrame(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := metrics.RackDayFrame(s.Figures().Res)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkClimateGuidance measures the full Q3 pipeline on the shared
+// study: MF fit, baseline fit, residual environment tree, hot-regime RH
+// scan, PDP grids, and per-DC group rates.
+func BenchmarkClimateGuidance(b *testing.B) {
+	s := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := s.ClimateGuidance()
 		benchErr(b, err)
 	}
 }
@@ -422,4 +326,75 @@ func BenchmarkCrossValidate(b *testing.B) {
 			cart.Config{Task: cart.Regression, MaxDepth: 5, MinSplit: 10, MinLeaf: 5}, cands, 5, 1)
 		benchErr(b, err)
 	}
+}
+
+// --- regression snapshot ---
+
+// benchResult is one measurement row of BENCH_analysis.json.
+type benchResult struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	N           int   `json:"n"`
+}
+
+// TestBenchAnalysis snapshots the hot-path benchmarks (CART fit,
+// cross-validation, the Q3 pipeline, figure regeneration, predictor
+// training) to the JSON file named by RAINSHINE_BENCH_OUT, so `make
+// bench` leaves a committed record that regressions diff against. Skipped
+// when the variable is unset.
+func TestBenchAnalysis(t *testing.T) {
+	out := os.Getenv("RAINSHINE_BENCH_OUT")
+	if out == "" {
+		t.Skip("RAINSHINE_BENCH_OUT unset; run via `make bench`")
+	}
+	marks := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"cart_fit_20k", BenchmarkCARTFit},
+		{"cart_crossvalidate", BenchmarkCrossValidate},
+		{"q3_climate_guidance", BenchmarkClimateGuidance},
+		{"figure_regen", BenchmarkFigureRegen},
+		{"predict_train", BenchmarkPredictTrain},
+	}
+	results := make(map[string]benchResult, len(marks))
+	for _, m := range marks {
+		r := testing.Benchmark(m.fn)
+		if r.N == 0 {
+			t.Fatalf("%s: benchmark did not run", m.name)
+		}
+		results[m.name] = benchResult{
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			N:           r.N,
+		}
+		t.Logf("%s: %v", m.name, r)
+	}
+	doc := struct {
+		GoMaxProcs int                    `json:"gomaxprocs"`
+		GoVersion  string                 `json:"go_version"`
+		Baseline   map[string]benchResult `json:"baseline_pre_presort"`
+		Results    map[string]benchResult `json:"results"`
+	}{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		// Pre-presort serial numbers (commit e2fc823, GOMAXPROCS=1),
+		// kept so the file carries before/after in one place.
+		Baseline: map[string]benchResult{
+			"cart_fit_20k":        {NsPerOp: 15598789, BytesPerOp: 3341797, AllocsPerOp: 632},
+			"cart_crossvalidate":  {NsPerOp: 769345, BytesPerOp: 357633, AllocsPerOp: 2051},
+			"q3_climate_guidance": {NsPerOp: 352200698, BytesPerOp: 67588568, AllocsPerOp: 7457},
+		},
+		Results: results,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatalf("writing %s: %v", out, err)
+	}
+	fmt.Printf("bench snapshot written to %s\n", out)
 }

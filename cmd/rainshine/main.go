@@ -21,7 +21,8 @@
 //	climate-csv <file> run the Q3 analysis on an external rack-day CSV ("-" = stdin)
 //	serve              run the analysis daemon: Q1-Q3/predict/quality as a JSON
 //	                   HTTP API with a cached study registry (own flags:
-//	                   -addr, -cache-size, -timeout; see README)
+//	                   -addr, -cache-size, -timeout, -workers, -warmup;
+//	                   see README)
 //	pooling            shared-vs-dedicated spare pool comparison
 //	opex               replace-vs-service repair policy comparison
 //	tree               print the Q3 multi-factor CART model
@@ -36,6 +37,8 @@
 //	-hourly     use hourly provisioning granularity for q1
 //	-faults     dirty-data mode: inject the default deterministic fault mix
 //	            into the recorded telemetry and scrub it through ingest
+//	-workers N  worker goroutines for simulation and analysis (default 0 =
+//	            all CPUs, 1 = serial; every count yields identical output)
 package main
 
 import (
@@ -65,6 +68,8 @@ func run(args []string) error {
 	small := fs.Bool("small", false, "fast reduced study")
 	hourly := fs.Bool("hourly", false, "hourly granularity for q1")
 	dirty := fs.Bool("faults", false, "inject the default deterministic fault mix (dirty-data mode)")
+	workers := fs.Int("workers", 0,
+		"worker goroutines for simulation and analysis (0 = all CPUs, 1 = serial; results identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,6 +80,9 @@ func run(args []string) error {
 	}
 
 	opts := []rainshine.Option{rainshine.WithSeed(*seed), rainshine.WithDays(*days)}
+	if *workers != 0 {
+		opts = append(opts, rainshine.WithWorkers(*workers))
+	}
 	if *small {
 		opts = append(opts, rainshine.WithDays(365), rainshine.WithRacks(120, 100))
 	}

@@ -19,6 +19,8 @@ type serveConfig struct {
 	addr    string
 	cache   int
 	timeout time.Duration
+	workers int
+	warmup  bool
 }
 
 // parseServeFlags parses and validates the serve flags without binding
@@ -29,6 +31,10 @@ func parseServeFlags(args []string) (serveConfig, error) {
 	cache := fs.Int("cache-size", 4, "max studies held in the registry LRU")
 	timeout := fs.Duration("timeout", 5*time.Minute,
 		"per-request deadline, including any study build the request triggers")
+	workers := fs.Int("workers", 0,
+		"worker goroutines per study build and analysis (0 = all CPUs, 1 = serial; results identical)")
+	warmup := fs.Bool("warmup", false,
+		"pre-materialize every table and figure of each study before publishing it")
 	if err := fs.Parse(args); err != nil {
 		return serveConfig{}, err
 	}
@@ -44,7 +50,13 @@ func parseServeFlags(args []string) (serveConfig, error) {
 	if *timeout <= 0 {
 		return serveConfig{}, fmt.Errorf("-timeout must be positive, got %s", *timeout)
 	}
-	return serveConfig{addr: *addr, cache: *cache, timeout: *timeout}, nil
+	if *workers < 0 {
+		return serveConfig{}, fmt.Errorf("-workers must not be negative, got %d", *workers)
+	}
+	return serveConfig{
+		addr: *addr, cache: *cache, timeout: *timeout,
+		workers: *workers, warmup: *warmup,
+	}, nil
 }
 
 // serveCmd runs the analysis daemon until SIGINT/SIGTERM, then drains
@@ -54,7 +66,12 @@ func serveCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv := server.New(server.Config{CacheSize: cfg.cache, Timeout: cfg.timeout})
+	srv := server.New(server.Config{
+		CacheSize: cfg.cache,
+		Timeout:   cfg.timeout,
+		Workers:   cfg.workers,
+		Warmup:    cfg.warmup,
+	})
 	hs := &http.Server{
 		Addr:              cfg.addr,
 		Handler:           srv.Handler(),

@@ -1,0 +1,57 @@
+package rainshine
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// TestWorkersDeterministic is the end-to-end determinism guarantee: the
+// JSON-encoded Q1-Q3 and prediction reports of a study built and
+// analyzed with any worker count are byte-identical to the serial
+// (workers=1) study. This is what lets the serve daemon treat Workers as
+// a tuning knob instead of a cache-key dimension.
+func TestWorkersDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds three studies; skipped in -short")
+	}
+	reports := func(w int) map[string][]byte {
+		t.Helper()
+		s, err := NewStudy(WithSeed(42), WithDays(150), WithRacks(30, 26), WithWorkers(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		out := make(map[string][]byte)
+		add := func(name string, rep any, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("workers=%d: %s: %v", w, name, err)
+			}
+			buf, err := json.Marshal(rep)
+			if err != nil {
+				t.Fatalf("workers=%d: encoding %s: %v", w, name, err)
+			}
+			out[name] = buf
+		}
+		q1, err := s.SpareProvisioning(W6, false)
+		add("q1", q1, err)
+		q2, err := s.VendorComparison()
+		add("q2", q2, err)
+		q3, err := s.ClimateGuidance()
+		add("q3", q3, err)
+		pred, err := s.FailurePrediction()
+		add("predict", pred, err)
+		return out
+	}
+
+	want := reports(1)
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := reports(w)
+		for name, wantBuf := range want {
+			if string(got[name]) != string(wantBuf) {
+				t.Errorf("workers=%d: %s JSON differs from serial\nserial:   %.200s\nparallel: %.200s",
+					w, name, wantBuf, got[name])
+			}
+		}
+	}
+}

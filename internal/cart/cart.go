@@ -19,15 +19,25 @@
 //   - relative variable importance (rpart-style, scaled to 100);
 //   - leaf extraction and row→leaf assignment, which the paper uses to
 //     cluster racks with similar failure behaviour (Q1).
+//
+// Performance model: each continuous/ordinal feature is sorted once per
+// Fit; child nodes inherit the sorted order by a stable in-place
+// partition (rank filtering) instead of re-sorting, and the per-node
+// split search fans the candidate features across a bounded worker pool
+// (Config.Workers). Trees are byte-identical for every worker count: the
+// winning split is reduced in feature order with the same strict
+// impurity tie-break the serial scan applies.
 package cart
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"rainshine/internal/frame"
+	"rainshine/internal/parallel"
 )
 
 // Task selects the tree type.
@@ -56,6 +66,11 @@ type Config struct {
 	// total impurity by at least CP * root impurity. Zero means 0.01
 	// (rpart default). Negative means no improvement threshold.
 	CP float64
+	// Workers bounds the goroutines used by the per-node split search
+	// (and by CrossValidate's fold fan-out). Below 1 means GOMAXPROCS;
+	// 1 forces the serial path. The fitted tree is byte-identical for
+	// every worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +148,13 @@ type Tree struct {
 
 // Fit grows a tree predicting target from the named feature columns of f.
 func Fit(f *frame.Frame, target string, features []string, cfg Config) (*Tree, error) {
+	return FitContext(context.Background(), f, target, features, cfg)
+}
+
+// FitContext is Fit under a context: when ctx is canceled the split
+// search stops at its next checkpoint and the context's error is
+// returned instead of a partially grown tree.
+func FitContext(ctx context.Context, f *frame.Frame, target string, features []string, cfg Config) (*Tree, error) {
 	cfg = cfg.withDefaults()
 	if f.NumRows() == 0 {
 		return nil, errors.New("cart: empty frame")
@@ -181,29 +203,149 @@ func Fit(f *frame.Frame, target string, features []string, cfg Config) (*Tree, e
 	}
 	t.importanceRaw = make([]float64, len(features))
 
-	idx := make([]int, f.NumRows())
-	for i := range idx {
-		idx[i] = i
-	}
-	b := &builder{cfg: cfg, tree: t, y: y, cols: cols}
+	b := &builder{cfg: cfg, ctx: ctx, tree: t, y: y, cols: cols}
 	if cfg.Task == Classification {
 		b.nClasses = len(t.ClassLevels)
 	}
-	root := b.node(idx)
+	if err := b.prepare(f.NumRows()); err != nil {
+		return nil, err
+	}
+	root := b.node(b.rows.idx)
 	b.rootImpurity = root.Impurity
-	b.grow(root, idx, 0)
+	b.grow(root, b.rows, 0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t.Root = root
 	t.numberLeaves()
 	return t, nil
 }
 
+// nodeRows is the per-node view of the training rows: the row set in
+// partition order, plus — for every continuous/ordinal feature — the
+// finite subset presorted by (value, row index). Children inherit the
+// sorted order through a stable in-place partition, so sorting happens
+// exactly once per Fit.
+type nodeRows struct {
+	idx    []int
+	sorted [][]int32 // per feature; nil for nominal features
+}
+
 type builder struct {
 	cfg          Config
+	ctx          context.Context
 	tree         *Tree
 	y            []float64
 	cols         [][]float64
 	nClasses     int
 	rootImpurity float64
+
+	rows    nodeRows
+	workers int
+
+	// Reused builder-lifetime buffers (the tree grows serially; only the
+	// per-node feature search fans out, through per-worker scratch).
+	side       []bool  // row → routed to the left child
+	idxTmp     []int   // partition scratch for idx
+	sortTmps   [][]int32 // per worker: partition scratch for sorted lists
+	featSplit  []split
+	featOK     []bool
+	scratch    []*scratch
+}
+
+// scratch holds one worker's reusable split-search buffers, sized to the
+// largest level/class cardinality the tree can meet.
+type scratch struct {
+	left, total, right []float64 // class counts for numeric scans
+	counts             []int     // nominal: per-category row counts
+	score              []float64 // nominal: category order keys
+	catSum, catSq      []float64 // nominal regression accumulators
+	catClass           [][]float64
+	present            []int
+}
+
+// prepare builds the root row view: every feature's finite rows sorted
+// once by (value, row index) — the canonical order rank filtering
+// preserves down the tree. The per-feature sorts run through the pool.
+func (b *builder) prepare(nRows int) error {
+	nf := len(b.cols)
+	b.workers = parallel.Workers(b.cfg.Workers)
+	b.side = make([]bool, nRows)
+	b.idxTmp = make([]int, nRows)
+	b.featSplit = make([]split, nf)
+	b.featOK = make([]bool, nf)
+
+	idx := make([]int, nRows)
+	for i := range idx {
+		idx[i] = i
+	}
+	b.rows = nodeRows{idx: idx, sorted: make([][]int32, nf)}
+
+	slots := b.workers
+	if slots > nf {
+		slots = nf
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	maxLevels := 0
+	for fi := range b.cols {
+		if n := len(b.tree.Features[fi].Levels); n > maxLevels {
+			maxLevels = n
+		}
+	}
+	b.scratch = make([]*scratch, slots)
+	b.sortTmps = make([][]int32, slots)
+	for w := range b.scratch {
+		b.scratch[w] = newScratch(b.nClasses, maxLevels)
+		b.sortTmps[w] = make([]int32, 0, nRows)
+	}
+
+	return parallel.ForEach(b.ctx, b.cfg.Workers, nf, func(fi int) error {
+		if b.tree.Features[fi].Kind == frame.Nominal {
+			return nil
+		}
+		col := b.cols[fi]
+		s := make([]int32, 0, nRows)
+		for r := 0; r < nRows; r++ {
+			if isFinite(col[r]) {
+				s = append(s, int32(r))
+			}
+		}
+		slices.SortFunc(s, func(a, c int32) int {
+			va, vc := col[a], col[c]
+			switch {
+			case va < vc:
+				return -1
+			case va > vc:
+				return 1
+			case a < c: // total order: ties break by row index
+				return -1
+			case a > c:
+				return 1
+			}
+			return 0
+		})
+		b.rows.sorted[fi] = s
+		return nil
+	})
+}
+
+func newScratch(nClasses, maxLevels int) *scratch {
+	sc := &scratch{
+		counts:  make([]int, maxLevels),
+		score:   make([]float64, maxLevels),
+		catSum:  make([]float64, maxLevels),
+		catSq:   make([]float64, maxLevels),
+		present: make([]int, 0, maxLevels),
+	}
+	if nClasses > 0 {
+		sc.left = make([]float64, nClasses)
+		sc.total = make([]float64, nClasses)
+		sc.right = make([]float64, nClasses)
+		sc.catClass = make([][]float64, maxLevels)
+	}
+	return sc
 }
 
 // node computes leaf statistics for the rows in idx.
@@ -244,12 +386,12 @@ func (b *builder) node(idx []int) *Node {
 	return n
 }
 
-// grow recursively splits node over rows idx.
-func (b *builder) grow(n *Node, idx []int, depth int) {
-	if depth >= b.cfg.MaxDepth || len(idx) < b.cfg.MinSplit || n.Impurity <= 1e-12 {
+// grow recursively splits node over the rows view.
+func (b *builder) grow(n *Node, rows nodeRows, depth int) {
+	if depth >= b.cfg.MaxDepth || len(rows.idx) < b.cfg.MinSplit || n.Impurity <= 1e-12 {
 		return
 	}
-	sp := b.bestSplit(idx)
+	sp := b.bestSplit(rows)
 	if sp.feature < 0 {
 		return
 	}
@@ -265,39 +407,98 @@ func (b *builder) grow(n *Node, idx []int, depth int) {
 	n.LeftSet = sp.leftSet
 	b.tree.importanceRaw[sp.feature] += sp.gain
 
-	left, right, missing := b.partition(n, idx)
-	n.DefaultLeft = len(left) >= len(right)
-	// Rows missing the split feature follow the majority child, the
-	// same route unseen values take at prediction time.
-	if n.DefaultLeft {
-		left = append(left, missing...)
-	} else {
-		right = append(right, missing...)
-	}
-	n.Left = b.node(left)
-	n.Right = b.node(right)
+	left, right := b.partition(n, rows)
+	n.Left = b.node(left.idx)
+	n.Right = b.node(right.idx)
 	b.grow(n.Left, left, depth+1)
 	b.grow(n.Right, right, depth+1)
 }
 
-// partition routes idx rows through node n's split; rows with a missing
-// split value are returned separately for majority-side assignment.
-func (b *builder) partition(n *Node, idx []int) (left, right, missing []int) {
+// partition routes the node's rows through its split. Rows with a
+// missing split value follow the majority child, the same route unseen
+// values take at prediction time. The row set is rearranged in place to
+// [left | right] (each side keeping available rows in order, then the
+// missing rows), and every feature's presorted list is stably split so
+// children never re-sort.
+func (b *builder) partition(n *Node, rows nodeRows) (left, right nodeRows) {
 	feat := b.tree.Features[n.Feature]
 	col := b.cols[n.Feature]
+	idx := rows.idx
+
+	nl, nr, nm := 0, 0, 0
 	for _, r := range idx {
 		v := col[r]
-		if !isFinite(v) {
-			missing = append(missing, r)
-			continue
-		}
-		if routeLeft(feat.Kind, n, v) {
-			left = append(left, r)
-		} else {
-			right = append(right, r)
+		switch {
+		case !isFinite(v):
+			nm++
+		case routeLeft(feat.Kind, n, v):
+			nl++
+		default:
+			nr++
 		}
 	}
-	return left, right, missing
+	n.DefaultLeft = nl >= nr
+	leftTotal := nl
+	if n.DefaultLeft {
+		leftTotal += nm
+	}
+	// Scatter into [finite-left, missing?][finite-right, missing?],
+	// preserving the original row order within each group — the exact
+	// sequence the append-based partition produced.
+	tmp := b.idxTmp[:len(idx)]
+	pLeft, pRight := 0, leftTotal
+	pMiss := nl
+	if !n.DefaultLeft {
+		pMiss = leftTotal + nr
+	}
+	for _, r := range idx {
+		v := col[r]
+		switch {
+		case !isFinite(v):
+			tmp[pMiss] = r
+			pMiss++
+			b.side[r] = n.DefaultLeft
+		case routeLeft(feat.Kind, n, v):
+			tmp[pLeft] = r
+			pLeft++
+			b.side[r] = true
+		default:
+			tmp[pRight] = r
+			pRight++
+			b.side[r] = false
+		}
+	}
+	copy(idx, tmp)
+
+	left = nodeRows{idx: idx[:leftTotal], sorted: make([][]int32, len(rows.sorted))}
+	right = nodeRows{idx: idx[leftTotal:], sorted: make([][]int32, len(rows.sorted))}
+
+	// Rank filtering: stable in-place partition of each feature's sorted
+	// rows by child side; the relative (value, row) order survives, so
+	// children reuse it directly. Fanned across the pool — each feature's
+	// list is independent and each worker slot has its own spill buffer.
+	parallel.ForEachWorker(b.ctx, b.cfg.Workers, len(rows.sorted), func(w, fi int) error {
+		s := rows.sorted[fi]
+		if s == nil {
+			return nil
+		}
+		spill := b.sortTmps[w][:0]
+		k := 0
+		for _, r := range s {
+			if b.side[r] {
+				s[k] = r
+				k++
+			} else {
+				spill = append(spill, r)
+			}
+		}
+		copy(s[k:], spill)
+		b.sortTmps[w] = spill[:0]
+		left.sorted[fi] = s[:k]
+		right.sorted[fi] = s[k:]
+		return nil
+	})
+	return left, right
 }
 
 // isFinite reports whether a feature cell carries a usable value.
@@ -320,106 +521,104 @@ type split struct {
 }
 
 // bestSplit searches all features for the impurity-minimizing split.
-func (b *builder) bestSplit(idx []int) split {
-	best := split{feature: -1}
-	for fi := range b.cols {
-		var s split
-		var ok bool
+// Features are searched concurrently; the winner is reduced in feature
+// order with a strict greater-than on gain, so ties break toward the
+// lower feature index exactly as the serial scan does.
+func (b *builder) bestSplit(rows nodeRows) split {
+	nf := len(b.cols)
+	err := parallel.ForEachWorker(b.ctx, b.cfg.Workers, nf, func(w, fi int) error {
 		if b.tree.Features[fi].Kind == frame.Nominal {
-			s, ok = b.bestNominalSplit(fi, idx)
+			b.featSplit[fi], b.featOK[fi] = b.bestNominalSplit(b.scratch[w], fi, rows.idx)
 		} else {
-			s, ok = b.bestNumericSplit(fi, idx)
+			b.featSplit[fi], b.featOK[fi] = b.bestNumericSplit(b.scratch[w], fi, rows.sorted[fi])
 		}
-		if ok && s.gain > best.gain {
-			best = s
+		return nil
+	})
+	best := split{feature: -1}
+	if err != nil {
+		return best // canceled: stop growing everywhere
+	}
+	for fi := range b.featSplit {
+		if b.featOK[fi] && b.featSplit[fi].gain > best.gain {
+			best = b.featSplit[fi]
 		}
 	}
 	return best
 }
 
-// bestNumericSplit scans sorted values of a continuous/ordinal feature.
-// Missing cells are excluded from the scan (available-case splitting).
-func (b *builder) bestNumericSplit(fi int, idx []int) (split, bool) {
+// bestNumericSplit scans the presorted finite rows of a continuous or
+// ordinal feature. Missing cells were excluded when the sorted view was
+// built (available-case splitting), and the node's view arrives already
+// ordered, so the scan is a single O(n) pass.
+func (b *builder) bestNumericSplit(sc *scratch, fi int, sorted []int32) (split, bool) {
 	col := b.cols[fi]
-	sorted := make([]int, 0, len(idx))
-	for _, r := range idx {
-		if isFinite(col[r]) {
-			sorted = append(sorted, r)
-		}
-	}
-	if len(sorted) < 2*b.cfg.MinLeaf || len(sorted) < 2 {
+	n := len(sorted)
+	if n < 2*b.cfg.MinLeaf || n < 2 {
 		return split{}, false
 	}
-	sort.Slice(sorted, func(a, c int) bool { return col[sorted[a]] < col[sorted[c]] })
 
-	parentImp := 0.0
-	var scan func() (bestPos int, bestGain float64)
+	bestPos, bestGain := -1, 0.0
 	if b.cfg.Task == Regression {
-		n := len(sorted)
 		totalSum, totalSq := 0.0, 0.0
 		for _, r := range sorted {
 			totalSum += b.y[r]
 			totalSq += b.y[r] * b.y[r]
 		}
-		parentImp = totalSq - totalSum*totalSum/float64(n)
-		scan = func() (int, float64) {
-			bestPos, bestGain := -1, 0.0
-			leftSum := 0.0
-			leftSq := 0.0
-			for i := 0; i < n-1; i++ {
-				r := sorted[i]
-				leftSum += b.y[r]
-				leftSq += b.y[r] * b.y[r]
-				if col[sorted[i]] == col[sorted[i+1]] {
-					continue // cannot split between equal values
-				}
-				nl, nr := i+1, n-i-1
-				if nl < b.cfg.MinLeaf || nr < b.cfg.MinLeaf {
-					continue
-				}
-				rightSum := totalSum - leftSum
-				rightSq := totalSq - leftSq
-				childImp := (leftSq - leftSum*leftSum/float64(nl)) +
-					(rightSq - rightSum*rightSum/float64(nr))
-				if g := parentImp - childImp; g > bestGain {
-					bestGain, bestPos = g, i
-				}
+		parentImp := totalSq - totalSum*totalSum/float64(n)
+		leftSum, leftSq := 0.0, 0.0
+		for i := 0; i < n-1; i++ {
+			r := sorted[i]
+			leftSum += b.y[r]
+			leftSq += b.y[r] * b.y[r]
+			if col[sorted[i]] == col[sorted[i+1]] {
+				continue // cannot split between equal values
 			}
-			return bestPos, bestGain
+			nl, nr := i+1, n-i-1
+			if nl < b.cfg.MinLeaf || nr < b.cfg.MinLeaf {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			childImp := (leftSq - leftSum*leftSum/float64(nl)) +
+				(rightSq - rightSum*rightSum/float64(nr))
+			if g := parentImp - childImp; g > bestGain {
+				bestGain, bestPos = g, i
+			}
 		}
 	} else {
-		n := len(sorted)
-		total := make([]float64, b.nClasses)
+		// Class-count buffers come from the worker slot's scratch: two
+		// numeric scans never share a slot concurrently, so zeroing is
+		// the only per-call cost.
+		total := sc.total[:b.nClasses]
+		left := sc.left[:b.nClasses]
+		for cl := range total {
+			total[cl] = 0
+			left[cl] = 0
+		}
 		for _, r := range sorted {
 			total[int(b.y[r])]++
 		}
-		parentImp = giniSSE(total, float64(n))
-		left := make([]float64, b.nClasses)
-		scan = func() (int, float64) {
-			bestPos, bestGain := -1, 0.0
-			for i := 0; i < n-1; i++ {
-				left[int(b.y[sorted[i]])]++
-				if col[sorted[i]] == col[sorted[i+1]] {
-					continue
-				}
-				nl, nr := i+1, n-i-1
-				if nl < b.cfg.MinLeaf || nr < b.cfg.MinLeaf {
-					continue
-				}
-				childImp := giniFromLeft(left, total, float64(nl), float64(nr))
-				if g := parentImp - childImp; g > bestGain {
-					bestGain, bestPos = g, i
-				}
+		parentImp := giniSSE(total, float64(n))
+		for i := 0; i < n-1; i++ {
+			left[int(b.y[sorted[i]])]++
+			if col[sorted[i]] == col[sorted[i+1]] {
+				continue
 			}
-			return bestPos, bestGain
+			nl, nr := i+1, n-i-1
+			if nl < b.cfg.MinLeaf || nr < b.cfg.MinLeaf {
+				continue
+			}
+			childImp := giniFromLeft(left, total, sc.right[:b.nClasses], float64(nl), float64(nr))
+			if g := parentImp - childImp; g > bestGain {
+				bestGain, bestPos = g, i
+			}
 		}
 	}
-	pos, gain := scan()
-	if pos < 0 || gain <= 0 {
+	if bestPos < 0 || bestGain <= 0 {
 		return split{}, false
 	}
-	thr := (col[sorted[pos]] + col[sorted[pos+1]]) / 2
-	return split{feature: fi, threshold: thr, gain: gain}, true
+	thr := (col[sorted[bestPos]] + col[sorted[bestPos+1]]) / 2
+	return split{feature: fi, threshold: thr, gain: bestGain}, true
 }
 
 // giniSSE returns n * Gini for class counts.
@@ -435,20 +634,23 @@ func giniSSE(counts []float64, n float64) float64 {
 	return n * (1 - ss)
 }
 
-func giniFromLeft(left, total []float64, nl, nr float64) float64 {
+// giniFromLeft computes the summed child impurity, filling the caller's
+// right-count buffer instead of allocating.
+func giniFromLeft(left, total, right []float64, nl, nr float64) float64 {
 	lImp := giniSSE(left, nl)
-	right := make([]float64, len(total))
 	for i := range total {
 		right[i] = total[i] - left[i]
 	}
-	return lImp + giniSSE(right, nr)
+	return lImp + giniSSE(right[:len(total)], nr)
 }
 
 // bestNominalSplit orders categories by mean response (regression) or by
 // first-class proportion (classification) and scans boundaries. The
 // ordering is provably optimal for regression and two-class targets
 // (Breiman et al., Thm 4.5); for multiclass it is a standard heuristic.
-func (b *builder) bestNominalSplit(fi int, idx []int) (split, bool) {
+// All accumulators come from the worker slot's scratch, so the hot loop
+// allocates nothing.
+func (b *builder) bestNominalSplit(sc *scratch, fi int, idx []int) (split, bool) {
 	col := b.cols[fi]
 	// Available-case filtering: rows missing this feature sit out the
 	// search and follow the majority child at partition time.
@@ -469,10 +671,17 @@ func (b *builder) bestNominalSplit(fi int, idx []int) (split, bool) {
 		return split{}, false
 	}
 	nLevels := len(b.tree.Features[fi].Levels)
-	counts := make([]int, nLevels)
-	score := make([]float64, nLevels) // order key per category
+	counts := sc.counts[:nLevels]
+	score := sc.score[:nLevels]
+	for c := range counts {
+		counts[c] = 0
+		score[c] = 0
+	}
 	if b.cfg.Task == Regression {
-		sums := make([]float64, nLevels)
+		sums := sc.catSum[:nLevels]
+		for c := range sums {
+			sums[c] = 0
+		}
 		for _, r := range idx {
 			c := int(col[r])
 			counts[c]++
@@ -484,7 +693,10 @@ func (b *builder) bestNominalSplit(fi int, idx []int) (split, bool) {
 			}
 		}
 	} else {
-		firstClass := make([]float64, nLevels)
+		firstClass := sc.catSum[:nLevels]
+		for c := range firstClass {
+			firstClass[c] = 0
+		}
 		for _, r := range idx {
 			c := int(col[r])
 			counts[c]++
@@ -498,16 +710,25 @@ func (b *builder) bestNominalSplit(fi int, idx []int) (split, bool) {
 			}
 		}
 	}
-	present := make([]int, 0, nLevels)
+	present := sc.present[:0]
 	for c, n := range counts {
 		if n > 0 {
 			present = append(present, c)
 		}
 	}
+	sc.present = present[:0]
 	if len(present) < 2 {
 		return split{}, false
 	}
-	sort.Slice(present, func(a, c int) bool { return score[present[a]] < score[present[c]] })
+	slices.SortFunc(present, func(a, c int) int {
+		switch {
+		case score[a] < score[c]:
+			return -1
+		case score[a] > score[c]:
+			return 1
+		}
+		return 0
+	})
 
 	// Scan over the category ordering: rows are processed category by
 	// category, reusing the numeric machinery over a virtual ordering.
@@ -516,8 +737,12 @@ func (b *builder) bestNominalSplit(fi int, idx []int) (split, bool) {
 	bestCut := -1
 	if b.cfg.Task == Regression {
 		totalSum, totalSq := 0.0, 0.0
-		catSum := make([]float64, nLevels)
-		catSq := make([]float64, nLevels)
+		catSum := sc.catSum[:nLevels]
+		catSq := sc.catSq[:nLevels]
+		for c := range catSum {
+			catSum[c] = 0
+			catSq[c] = 0
+		}
 		for _, r := range idx {
 			c := int(col[r])
 			catSum[c] += b.y[r]
@@ -545,8 +770,11 @@ func (b *builder) bestNominalSplit(fi int, idx []int) (split, bool) {
 			}
 		}
 	} else {
-		total := make([]float64, b.nClasses)
-		catClass := make([][]float64, nLevels)
+		total := sc.total[:b.nClasses]
+		for cl := range total {
+			total[cl] = 0
+		}
+		catClass := sc.catClass[:nLevels]
 		for _, r := range idx {
 			c := int(col[r])
 			if catClass[c] == nil {
@@ -556,7 +784,10 @@ func (b *builder) bestNominalSplit(fi int, idx []int) (split, bool) {
 			total[int(b.y[r])]++
 		}
 		parentImp := giniSSE(total, float64(n))
-		left := make([]float64, b.nClasses)
+		left := sc.left[:b.nClasses]
+		for cl := range left {
+			left[cl] = 0
+		}
 		nl := 0
 		for k := 0; k < len(present)-1; k++ {
 			c := present[k]
@@ -568,9 +799,16 @@ func (b *builder) bestNominalSplit(fi int, idx []int) (split, bool) {
 			if nl < b.cfg.MinLeaf || nr < b.cfg.MinLeaf {
 				continue
 			}
-			childImp := giniFromLeft(left, total, float64(nl), float64(nr))
+			childImp := giniFromLeft(left, total, sc.right[:b.nClasses], float64(nl), float64(nr))
 			if g := parentImp - childImp; g > bestGain {
 				bestGain, bestCut = g, k
+			}
+		}
+		// Reset the per-category class counts we touched for the next
+		// call on this worker slot.
+		for _, cc := range catClass {
+			for cl := range cc {
+				cc[cl] = 0
 			}
 		}
 	}
@@ -693,6 +931,13 @@ func (t *Tree) PredictProba(x []float64) ([]float64, error) {
 // ProbaFrame returns, for every row of f, the probability of the class
 // with the given index (classification trees only).
 func (t *Tree) ProbaFrame(f *frame.Frame, class int) ([]float64, error) {
+	return t.ProbaFrameContext(context.Background(), f, class, 1)
+}
+
+// ProbaFrameContext is ProbaFrame with the per-row routing fanned over
+// workers (rows are independent; the output is index-addressed, so the
+// result is identical for every worker count).
+func (t *Tree) ProbaFrameContext(ctx context.Context, f *frame.Frame, class, workers int) ([]float64, error) {
 	if t.Task != Classification {
 		return nil, errors.New("cart: ProbaFrame requires a classification tree")
 	}
@@ -704,12 +949,7 @@ func (t *Tree) ProbaFrame(f *frame.Frame, class int) ([]float64, error) {
 		return nil, err
 	}
 	out := make([]float64, f.NumRows())
-	x := make([]float64, len(cols))
-	for r := range out {
-		for i, c := range cols {
-			x[i] = c[r]
-		}
-		leaf := t.leafFor(x)
+	err = t.forEachRowChunk(ctx, workers, f.NumRows(), cols, func(r int, leaf *Node) {
 		total := 0.0
 		for _, cc := range leaf.ClassCounts {
 			total += cc
@@ -717,6 +957,9 @@ func (t *Tree) ProbaFrame(f *frame.Frame, class int) ([]float64, error) {
 		if total > 0 {
 			out[r] = leaf.ClassCounts[class] / total
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -724,19 +967,40 @@ func (t *Tree) ProbaFrame(f *frame.Frame, class int) ([]float64, error) {
 // PredictFrame predicts every row of f, which must contain the tree's
 // feature columns.
 func (t *Tree) PredictFrame(f *frame.Frame) ([]float64, error) {
+	return t.PredictFrameContext(context.Background(), f, 1)
+}
+
+// PredictFrameContext is PredictFrame with the per-row routing fanned
+// over workers; results are identical for every worker count.
+func (t *Tree) PredictFrameContext(ctx context.Context, f *frame.Frame, workers int) ([]float64, error) {
 	cols, err := t.featureCols(f)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]float64, f.NumRows())
-	x := make([]float64, len(cols))
-	for r := range out {
-		for i, c := range cols {
-			x[i] = c[r]
-		}
-		out[r] = t.leafFor(x).Value
+	err = t.forEachRowChunk(ctx, workers, f.NumRows(), cols, func(r int, leaf *Node) {
+		out[r] = leaf.Value
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// forEachRowChunk routes every row to its leaf, chunked across the pool;
+// each chunk keeps its own feature buffer.
+func (t *Tree) forEachRowChunk(ctx context.Context, workers, rows int, cols [][]float64, visit func(r int, leaf *Node)) error {
+	chunks := parallel.Chunks(rows, parallel.Workers(workers))
+	return parallel.ForEach(ctx, workers, len(chunks), func(ci int) error {
+		x := make([]float64, len(cols))
+		for r := chunks[ci][0]; r < chunks[ci][1]; r++ {
+			for i, c := range cols {
+				x[i] = c[r]
+			}
+			visit(r, t.leafFor(x))
+		}
+		return nil
+	})
 }
 
 // AssignLeaves returns the LeafID for every row of f. The paper uses
@@ -803,7 +1067,15 @@ func (t *Tree) RankedFeatures() []string {
 	for i, f := range t.Features {
 		list[i] = fi{f.Name, imp[f.Name]}
 	}
-	sort.SliceStable(list, func(a, b int) bool { return list[a].imp > list[b].imp })
+	slices.SortStableFunc(list, func(a, b fi) int {
+		switch {
+		case a.imp > b.imp:
+			return -1
+		case a.imp < b.imp:
+			return 1
+		}
+		return 0
+	})
 	out := make([]string, len(list))
 	for i, e := range list {
 		out[i] = e.name

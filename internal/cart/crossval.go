@@ -1,11 +1,13 @@
 package cart
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"rainshine/internal/frame"
+	"rainshine/internal/parallel"
 	"rainshine/internal/rng"
 )
 
@@ -26,8 +28,17 @@ type CPRow struct {
 // CrossValidate evaluates candidate cp values by k-fold cross-validation
 // of regression trees, the procedure rpart uses to let analysts pick a
 // complexity that generalizes. cfg.CP is ignored; each candidate is
-// applied by pruning. Deterministic given the seed.
+// applied by pruning. Deterministic given the seed, for every value of
+// cfg.Workers: folds write only their own slots of the error matrix,
+// which is reduced in candidate order afterwards.
 func CrossValidate(f *frame.Frame, target string, features []string, cfg Config, candidates []float64, folds int, seed uint64) ([]CPRow, error) {
+	return CrossValidateContext(context.Background(), f, target, features, cfg, candidates, folds, seed)
+}
+
+// CrossValidateContext is CrossValidate under a context: the fold ×
+// candidate grid fans across cfg.Workers goroutines and stops early when
+// ctx is canceled.
+func CrossValidateContext(ctx context.Context, f *frame.Frame, target string, features []string, cfg Config, candidates []float64, folds int, seed uint64) ([]CPRow, error) {
 	if folds < 2 {
 		return nil, errors.New("cart: need at least 2 folds")
 	}
@@ -69,14 +80,28 @@ func CrossValidate(f *frame.Frame, target string, features []string, cfg Config,
 	for i := range sse {
 		sse[i] = make([]float64, folds)
 	}
+	for i, cp := range candidates {
+		if i > 0 && cp < candidates[i-1] {
+			return nil, errors.New("cart: cp candidates must be ascending")
+		}
+	}
 	growCfg := cfg
 	growCfg.CP = -1 // grow fully; candidates are applied by pruning
-	for k := 0; k < folds; k++ {
+	// Folds are independent — each writes only rootSSE[k] and the k-th
+	// column of sse — so they fan across the pool; the extra task index
+	// grows the full-data tree (needed below for leaf counts) alongside.
+	var full *Tree
+	err = parallel.ForEach(ctx, cfg.Workers, folds+1, func(k int) error {
+		if k == folds {
+			var ferr error
+			full, ferr = FitContext(ctx, f, target, features, growCfg)
+			return ferr
+		}
 		train := f.Subset(trainRows[k])
 		trainMean := 0.0
 		trainTarget, err := train.Col(target)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, v := range trainTarget.Data {
 			trainMean += v
@@ -86,30 +111,26 @@ func CrossValidate(f *frame.Frame, target string, features []string, cfg Config,
 			d := tc.Data[r] - trainMean
 			rootSSE[k] += d * d
 		}
-		tree, err := Fit(train, target, features, growCfg)
+		tree, err := FitContext(ctx, train, target, features, growCfg)
 		if err != nil {
-			return nil, fmt.Errorf("cart: fold %d: %w", k, err)
+			return fmt.Errorf("cart: fold %d: %w", k, err)
 		}
 		test := f.Subset(foldRows[k])
 		// Candidates ascend, and pruning at a larger cp only removes
 		// more nodes, so successive Prune calls reuse the same tree.
-		for i, cp := range candidates {
-			if i > 0 && cp < candidates[i-1] {
-				return nil, errors.New("cart: cp candidates must be ascending")
-			}
-			tree.Prune(cp)
+		for i := range candidates {
+			tree.Prune(candidates[i])
 			preds, err := tree.PredictFrame(test)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for j, r := range foldRows[k] {
 				d := tc.Data[r] - preds[j]
 				sse[i][k] += d * d
 			}
 		}
-	}
-	// Full-data trees for the leaf counts.
-	full, err := Fit(f, target, features, growCfg)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}

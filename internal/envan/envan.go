@@ -10,13 +10,16 @@
 package envan
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"rainshine/internal/cart"
 	"rainshine/internal/frame"
+	"rainshine/internal/parallel"
+	"rainshine/internal/pdp"
 	"rainshine/internal/stats"
 )
 
@@ -79,6 +82,10 @@ type Result struct {
 	EnvTree    *cart.Tree
 	Thresholds Thresholds
 	Groups     []GroupRates // one per DC
+	// PDP holds partial-dependence curves of the residual failure rate
+	// over the environmental axes ("temp", "rh"): the marginalized view
+	// of the same effects the thresholds binarize.
+	PDP map[string][]pdp.Point
 	// DroppedFeatures lists candidate factors the frame did not carry
 	// (dirty external tables): the analysis degraded to the rest.
 	DroppedFeatures []string
@@ -103,11 +110,21 @@ var BaselineFeatures = []string{"dc", "region", "sku", "workload", "power_kw", "
 // that would otherwise let a noisy interior split masquerade as the
 // environmental threshold.
 func Analyze(f *frame.Frame, cfg cart.Config) (*Result, error) {
+	return AnalyzeContext(context.Background(), f, cfg)
+}
+
+// AnalyzeContext is Analyze under a context: the stage-1 fits, the PDP
+// grids, the hot-regime humidity scan, and the per-DC regime summaries
+// all fan across cfg.Workers goroutines (0 means GOMAXPROCS, 1 forces
+// the serial path), with results identical for every worker count.
+func AnalyzeContext(ctx context.Context, f *frame.Frame, cfg cart.Config) (*Result, error) {
 	if cfg.MaxDepth == 0 {
 		// Deep, permissive growth: the environmental effects live
 		// several splits below the dominant hardware/spatial factors,
 		// so rpart-default stopping would never reach them.
+		workers := cfg.Workers
 		cfg = cart.Config{MaxDepth: 8, MinSplit: 2000, MinLeaf: 700, CP: 0.00005}
+		cfg.Workers = workers
 	}
 	cfg.Task = cart.Regression
 
@@ -145,18 +162,30 @@ func Analyze(f *frame.Frame, cfg cart.Config) (*Result, error) {
 		return nil, errors.New("envan: no rows with a finite target")
 	}
 
-	tree, err := cart.Fit(f, "disk_failures", mfFeats, cfg)
+	// The inspection tree and the stage-1 baseline are independent fits
+	// over the same frame: run them concurrently. The MF fit is task 0,
+	// so its error keeps priority, matching the old serial order.
+	var tree, baseline *cart.Tree
+	err = parallel.ForEach(ctx, cfg.Workers, 2, func(i int) error {
+		if i == 0 {
+			t, err := cart.FitContext(ctx, f, "disk_failures", mfFeats, cfg)
+			if err != nil {
+				return fmt.Errorf("envan: fitting tree: %w", err)
+			}
+			tree = t
+			return nil
+		}
+		b, err := cart.FitContext(ctx, f, "disk_failures", baseFeats, cfg)
+		if err != nil {
+			return fmt.Errorf("envan: fitting baseline tree: %w", err)
+		}
+		baseline = b
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("envan: fitting tree: %w", err)
+		return nil, err
 	}
-
-	// Stage 1: baseline on non-environmental factors.
-	baseCfg := cfg
-	baseline, err := cart.Fit(f, "disk_failures", baseFeats, baseCfg)
-	if err != nil {
-		return nil, fmt.Errorf("envan: fitting baseline tree: %w", err)
-	}
-	pred, err := baseline.PredictFrame(f)
+	pred, err := baseline.PredictFrameContext(ctx, f, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -198,8 +227,8 @@ func Analyze(f *frame.Frame, cfg cart.Config) (*Result, error) {
 	// any relative-improvement threshold would reject the real (small in
 	// SSE terms, large in rate terms) environmental step. Depth and leaf
 	// size keep the tree tame instead.
-	envTree, err := cart.Fit(envFrame, "resid", []string{"dc", "temp", "rh"},
-		cart.Config{Task: cart.Regression, MaxDepth: 3, MinSplit: 3000, MinLeaf: 1200, CP: -1})
+	envTree, err := cart.FitContext(ctx, envFrame, "resid", []string{"dc", "temp", "rh"},
+		cart.Config{Task: cart.Regression, MaxDepth: 3, MinSplit: 3000, MinLeaf: 1200, CP: -1, Workers: cfg.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("envan: fitting env tree: %w", err)
 	}
@@ -214,12 +243,29 @@ func Analyze(f *frame.Frame, cfg cart.Config) (*Result, error) {
 		// enforces the physical plausibility constraints (dry side
 		// worse, and a minority excursion regime) that a raw interior
 		// tree split does not.
-		if r, ok := hotRegimeRHSplit(envFrame, th.TempF); ok {
+		if r, ok := hotRegimeRHSplit(ctx, envFrame, th.TempF, cfg.Workers); ok {
 			th.RH = r
 		}
 	}
+
+	// Marginalized view of the same effects: partial-dependence curves of
+	// the residual rate over each environmental axis, one worker each
+	// (and each curve's grid fans out in turn).
+	pdpFeats := []string{"temp", "rh"}
+	grids, err := parallel.Map(ctx, cfg.Workers, len(pdpFeats), func(i int) ([]pdp.Point, error) {
+		return pdp.ComputeContext(ctx, envTree, envFrame, pdpFeats[i], 20, cfg.Workers)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("envan: pdp: %w", err)
+	}
+	pdpCurves := make(map[string][]pdp.Point, len(pdpFeats))
+	for i, name := range pdpFeats {
+		pdpCurves[name] = grids[i]
+	}
+
 	res := &Result{
 		Tree: tree, EnvTree: envTree, Thresholds: th,
+		PDP:             pdpCurves,
 		DroppedFeatures: mergeUnique(droppedMF, droppedBase),
 		RowsUsed:        f.NumRows(),
 		RowsDropped:     allRows - f.NumRows(),
@@ -249,7 +295,9 @@ func Analyze(f *frame.Frame, cfg cart.Config) (*Result, error) {
 	if math.IsNaN(rThr) {
 		rThr = 25
 	}
-	for dcIdx, dcName := range dcCol.Levels {
+	// Each DC's regime summary scans the frame independently; fan them
+	// out and collect in level order.
+	res.Groups, err = parallel.Map(ctx, cfg.Workers, len(dcCol.Levels), func(dcIdx int) (GroupRates, error) {
 		var cool, hot, hotDry, all []float64
 		for r := 0; r < f.NumRows(); r++ {
 			if int(dcCol.Data[r]) != dcIdx {
@@ -272,12 +320,15 @@ func Analyze(f *frame.Frame, cfg cart.Config) (*Result, error) {
 				}
 			}
 		}
-		g := GroupRates{DC: dcName}
+		g := GroupRates{DC: dcCol.Levels[dcIdx]}
 		g.Cool = summarizeOrZero(cool)
 		g.Hot = summarizeOrZero(hot)
 		g.HotDry = summarizeOrZero(hotDry)
 		g.All = summarizeOrZero(all)
-		res.Groups = append(res.Groups, g)
+		return g, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(res.Groups) == 0 {
 		return nil, errors.New("envan: no DC groups in frame")
@@ -306,7 +357,13 @@ func winsorize(r float64) float64 {
 // harmful minority, since the paper's finding is an excursion boundary,
 // not a median split. Returns (threshold, true) when an admissible split
 // with positive gain exists.
-func hotRegimeRHSplit(envFrame *frame.Frame, tempThr float64) (float64, bool) {
+//
+// The boundary scan precomputes the dry-side prefix sums in sorted order
+// (so every candidate reads exactly the float the serial accumulator
+// would have held) and then fans contiguous chunks of candidates across
+// the pool; the chunk bests are reduced in order with a strict
+// greater-than, reproducing the serial first-maximum tie-break.
+func hotRegimeRHSplit(ctx context.Context, envFrame *frame.Frame, tempThr float64, workers int) (float64, bool) {
 	tempCol, err := envFrame.Col("temp")
 	if err != nil {
 		return 0, false
@@ -337,7 +394,24 @@ func hotRegimeRHSplit(envFrame *frame.Frame, tempThr float64) (float64, bool) {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return rh[idx[a]] < rh[idx[b]] })
+	slices.SortFunc(idx, func(a, b int) int {
+		switch {
+		case rh[a] < rh[b]:
+			return -1
+		case rh[a] > rh[b]:
+			return 1
+		}
+		return 0
+	})
+	// Prefix sums over the sorted order: prefix[k+1] is exactly the
+	// running drySum the serial scan held at candidate k, so candidates
+	// evaluate to identical floats regardless of which chunk runs them.
+	prefix := make([]float64, n+1)
+	for k := 0; k < n; k++ {
+		prefix[k+1] = prefix[k] + resid[idx[k]]
+	}
+	// Summed in frame order, not sorted order: the serial code did, and
+	// float addition is order-sensitive at the ulp level.
 	total := 0.0
 	for _, v := range resid {
 		total += v
@@ -346,35 +420,48 @@ func hotRegimeRHSplit(envFrame *frame.Frame, tempThr float64) (float64, bool) {
 	if minLeaf < 100 {
 		minLeaf = 100
 	}
-	bestGain, bestThr := 0.0, 0.0
-	found := false
-	drySum := 0.0
-	for k := 0; k < n-1; k++ {
-		drySum += resid[idx[k]]
-		if rh[idx[k]] == rh[idx[k+1]] {
-			continue
+	type chunkBest struct {
+		gain, thr float64
+		found     bool
+	}
+	chunks := parallel.Chunks(n-1, parallel.Workers(workers))
+	bests, err := parallel.Map(ctx, workers, len(chunks), func(ci int) (chunkBest, error) {
+		var best chunkBest
+		for k := chunks[ci][0]; k < chunks[ci][1]; k++ {
+			if rh[idx[k]] == rh[idx[k+1]] {
+				continue
+			}
+			nd := k + 1
+			nh := n - nd
+			// Admissibility: enough support on both sides, dry side a
+			// minority of hot operation.
+			if nd < minLeaf || nh < minLeaf || 2*nd >= n {
+				continue
+			}
+			drySum := prefix[k+1]
+			meanDry := drySum / float64(nd)
+			meanHumid := (total - drySum) / float64(nh)
+			if meanDry <= meanHumid {
+				continue // humid side worse: not the paper's dry effect
+			}
+			d := meanDry - meanHumid
+			gain := float64(nd) * float64(nh) / float64(n) * d * d
+			if gain > best.gain {
+				best = chunkBest{gain: gain, thr: (rh[idx[k]] + rh[idx[k+1]]) / 2, found: true}
+			}
 		}
-		nd := k + 1
-		nh := n - nd
-		// Admissibility: enough support on both sides, dry side a
-		// minority of hot operation.
-		if nd < minLeaf || nh < minLeaf || 2*nd >= n {
-			continue
-		}
-		meanDry := drySum / float64(nd)
-		meanHumid := (total - drySum) / float64(nh)
-		if meanDry <= meanHumid {
-			continue // humid side worse: not the paper's dry effect
-		}
-		d := meanDry - meanHumid
-		gain := float64(nd) * float64(nh) / float64(n) * d * d
-		if gain > bestGain {
-			bestGain = gain
-			bestThr = (rh[idx[k]] + rh[idx[k+1]]) / 2
-			found = true
+		return best, nil
+	})
+	if err != nil {
+		return 0, false
+	}
+	var best chunkBest
+	for _, b := range bests {
+		if b.found && b.gain > best.gain {
+			best = b
 		}
 	}
-	return bestThr, found
+	return best.thr, best.found
 }
 
 func isFiniteVal(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

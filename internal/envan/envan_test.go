@@ -1,6 +1,7 @@
 package envan
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -231,7 +232,7 @@ func TestHotRegimeRHSplitConstraints(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	thr, ok := hotRegimeRHSplit(f, 78)
+	thr, ok := hotRegimeRHSplit(context.Background(), f, 78, 1)
 	if !ok || thr < 20 || thr > 24 {
 		t.Errorf("threshold = %v, %v; want ~22", thr, ok)
 	}
@@ -242,12 +243,12 @@ func TestHotRegimeRHSplitConstraints(t *testing.T) {
 			resid[i] = 0.5
 		}
 	}
-	if _, ok := hotRegimeRHSplit(f, 78); ok {
+	if _, ok := hotRegimeRHSplit(context.Background(), f, 78, 1); ok {
 		t.Error("humid-harmful pattern should be rejected")
 	}
 	// Too few hot rows.
 	tiny := f.Filter(func(r int) bool { return r < 100 })
-	if _, ok := hotRegimeRHSplit(tiny, 78); ok {
+	if _, ok := hotRegimeRHSplit(context.Background(), tiny, 78, 1); ok {
 		t.Error("tiny hot regime should be rejected")
 	}
 }

@@ -8,21 +8,50 @@ package figures
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"rainshine/internal/frame"
 	"rainshine/internal/ingest"
 	"rainshine/internal/metrics"
+	"rainshine/internal/parallel"
 	"rainshine/internal/simulate"
 )
 
+// lazyVal is a compute-once cell: the first caller runs fn, every later
+// caller (on any goroutine) gets the same value without re-entering fn
+// or serializing behind an unrelated computation.
+type lazyVal[T any] struct {
+	once sync.Once
+	v    T
+	err  error
+}
+
+func (l *lazyVal[T]) get(fn func() (T, error)) (T, error) {
+	l.once.Do(func() { l.v, l.err = fn() })
+	return l.v, l.err
+}
+
+// preset fills the cell without computing, when the value already exists
+// (the dirty-data scrub produces the quality report as a side effect).
+func (l *lazyVal[T]) preset(v T) {
+	l.once.Do(func() { l.v = v })
+}
+
 // Data wraps a simulation result with lazily computed derived artifacts
-// shared across figures (the rack-day frame is expensive to build).
+// shared across figures (the rack-day frame is expensive to build). Each
+// artifact sits behind its own once-guard, so two goroutines warming
+// different figures never serialize behind each other.
 type Data struct {
 	Res *simulate.Result
 
-	mu       sync.Mutex
-	rackDays *frame.Frame
-	quality  *ingest.Report
+	rackDays lazyVal[*frame.Frame]
+	quality  lazyVal[*ingest.Report]
+
+	// memo caches whole figure/table results by key once warmed. It is
+	// nil by default: one-shot CLI runs and the regeneration benchmarks
+	// measure the real computation, while long-lived servers opt in via
+	// Warmup (or EnableCache) to serve repeated requests from memory.
+	memo atomic.Pointer[sync.Map]
 }
 
 // NewData runs a simulation and wraps its result. In dirty-data mode
@@ -51,7 +80,7 @@ func NewDataContext(ctx context.Context, cfg simulate.Config) (*Data, error) {
 		if err != nil {
 			return nil, err
 		}
-		d.quality = rep
+		d.quality.preset(rep)
 	}
 	return d, nil
 }
@@ -63,28 +92,88 @@ func From(res *simulate.Result) *Data { return &Data{Res: res} }
 // analyses. Dirty studies report the scrub that already ran; clean
 // studies run a non-mutating audit on first call.
 func (d *Data) Quality() (*ingest.Report, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.quality == nil {
-		rep, err := ingest.Audit(d.Res)
-		if err != nil {
-			return nil, err
-		}
-		d.quality = rep
-	}
-	return d.quality, nil
+	return d.quality.get(func() (*ingest.Report, error) {
+		return ingest.Audit(d.Res)
+	})
 }
 
 // RackDays returns the (cached) rack-day λ frame.
 func (d *Data) RackDays() (*frame.Frame, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.rackDays == nil {
-		f, err := metrics.RackDayFrame(d.Res)
-		if err != nil {
-			return nil, err
-		}
-		d.rackDays = f
+	return d.rackDays.get(func() (*frame.Frame, error) {
+		return metrics.RackDayFrame(d.Res)
+	})
+}
+
+// EnableCache turns on the figure/table memo: every subsequent call of a
+// figure or table method computes once and then serves the cached rows.
+func (d *Data) EnableCache() {
+	if d.memo.Load() == nil {
+		d.memo.CompareAndSwap(nil, &sync.Map{})
 	}
-	return d.rackDays, nil
+}
+
+// cached memoizes one figure/table computation by key when the memo is
+// enabled; otherwise it just runs fn. Each key has its own once-guard,
+// so independent figures materialize concurrently without re-running.
+func cached[T any](d *Data, key string, fn func() (T, error)) (T, error) {
+	m := d.memo.Load()
+	if m == nil {
+		return fn()
+	}
+	cell, _ := m.LoadOrStore(key, &lazyVal[T]{})
+	return cell.(*lazyVal[T]).get(fn)
+}
+
+// warmEntry names one independently materializable artifact.
+type warmEntry struct {
+	key string
+	fn  func(d *Data) error
+}
+
+func discardErr[T any](fn func(d *Data) (T, error)) func(d *Data) error {
+	return func(d *Data) error { _, err := fn(d); return err }
+}
+
+// warmables lists every table and figure Warmup materializes, in paper
+// order. The shared rack-day frame is warmed first (alone) so the fan-out
+// hits a populated cache instead of convoying on its once-guard.
+var warmables = []warmEntry{
+	{"tableI", func(d *Data) error { d.TableI(); return nil }},
+	{"tableII", func(d *Data) error { d.TableII(); return nil }},
+	{"tableIII", func(d *Data) error { d.TableIII(); return nil }},
+	{"tableIV", discardErr((*Data).TableIV)},
+	{"fig1", discardErr((*Data).Fig1)},
+	{"fig2", discardErr((*Data).Fig2)},
+	{"fig3", discardErr((*Data).Fig3)},
+	{"fig4", discardErr((*Data).Fig4)},
+	{"fig5", discardErr((*Data).Fig5)},
+	{"fig6", discardErr((*Data).Fig6)},
+	{"fig7", discardErr((*Data).Fig7)},
+	{"fig8", discardErr((*Data).Fig8)},
+	{"fig9", discardErr((*Data).Fig9)},
+	{"fig10", discardErr((*Data).Fig10)},
+	{"fig11", discardErr((*Data).Fig11)},
+	{"fig12", discardErr((*Data).Fig12)},
+	{"fig13", discardErr((*Data).Fig13)},
+	{"fig14", discardErr((*Data).Fig14)},
+	{"fig15", discardErr((*Data).Fig15)},
+	{"fig16", discardErr((*Data).Fig16)},
+	{"fig17", discardErr((*Data).Fig17)},
+	{"fig18", discardErr((*Data).Fig18)},
+}
+
+// Warmup enables the memo and materializes every table and figure
+// through the worker pool, so later callers are served from memory. The
+// first error (in paper order) is returned, but warming continues for
+// the remaining entries; a canceled ctx stops scheduling new ones.
+func (d *Data) Warmup(ctx context.Context, workers int) error {
+	d.EnableCache()
+	// The rack-day frame feeds nearly every figure: build it once up
+	// front instead of having the whole pool convoy on its once-guard.
+	if _, err := d.RackDays(); err != nil {
+		return err
+	}
+	return parallel.ForEach(ctx, workers, len(warmables), func(i int) error {
+		return warmables[i].fn(d)
+	})
 }

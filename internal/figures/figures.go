@@ -98,7 +98,9 @@ func binnedBars(f *frame.Frame, key, value string, edges []float64, labels []str
 // spare requirements for a workload versus the CDFs of the two most
 // extreme MF clusters, showing why pooled 95th-percentile provisioning
 // overshoots.
-func (d *Data) Fig1() ([]CDFSeries, error) {
+func (d *Data) Fig1() ([]CDFSeries, error) { return cached(d, "fig1", d.fig1) }
+
+func (d *Data) fig1() ([]CDFSeries, error) {
 	sl, err := provision.AnalyzeServerLevel(d.Res, topology.W1, metrics.Daily, nil)
 	if err != nil {
 		return nil, err
@@ -146,7 +148,9 @@ func (d *Data) Fig1() ([]CDFSeries, error) {
 }
 
 // Fig2 reproduces Fig 2: mean failure rate per DC region.
-func (d *Data) Fig2() ([]BarPoint, error) {
+func (d *Data) Fig2() ([]BarPoint, error) { return cached(d, "fig2", d.fig2) }
+
+func (d *Data) fig2() ([]BarPoint, error) {
 	f, err := d.RackDays()
 	if err != nil {
 		return nil, err
@@ -212,10 +216,14 @@ func (d *Data) byTimeAndYear(timeCol string) ([]SeriesBars, error) {
 }
 
 // Fig3 reproduces Fig 3: failure rate by day of week, per year.
-func (d *Data) Fig3() ([]SeriesBars, error) { return d.byTimeAndYear("dow") }
+func (d *Data) Fig3() ([]SeriesBars, error) { return cached(d, "fig3", d.fig3) }
+
+func (d *Data) fig3() ([]SeriesBars, error) { return d.byTimeAndYear("dow") }
 
 // Fig4 reproduces Fig 4: failure rate by month of year, per year.
-func (d *Data) Fig4() ([]SeriesBars, error) { return d.byTimeAndYear("month") }
+func (d *Data) Fig4() ([]SeriesBars, error) { return cached(d, "fig4", d.fig4) }
+
+func (d *Data) fig4() ([]SeriesBars, error) { return d.byTimeAndYear("month") }
 
 // RHEdges are Fig 5's humidity bins: <20, 20-30, ..., >70.
 var RHEdges = []float64{0, 20, 30, 40, 50, 60, 70, 101}
@@ -224,7 +232,9 @@ var RHEdges = []float64{0, 20, 30, 40, 50, 60, 70, 101}
 var RHLabels = []string{"<20", "20-30", "30-40", "40-50", "50-60", "60-70", ">70"}
 
 // Fig5 reproduces Fig 5: failure rate vs relative humidity.
-func (d *Data) Fig5() ([]BarPoint, error) {
+func (d *Data) Fig5() ([]BarPoint, error) { return cached(d, "fig5", d.fig5) }
+
+func (d *Data) fig5() ([]BarPoint, error) {
 	f, err := d.RackDays()
 	if err != nil {
 		return nil, err
@@ -233,7 +243,9 @@ func (d *Data) Fig5() ([]BarPoint, error) {
 }
 
 // Fig6 reproduces Fig 6: failure rate per workload.
-func (d *Data) Fig6() ([]BarPoint, error) {
+func (d *Data) Fig6() ([]BarPoint, error) { return cached(d, "fig6", d.fig6) }
+
+func (d *Data) fig6() ([]BarPoint, error) {
 	f, err := d.RackDays()
 	if err != nil {
 		return nil, err
@@ -243,7 +255,9 @@ func (d *Data) Fig6() ([]BarPoint, error) {
 
 // Fig7 reproduces Fig 7: failure rate per SKU (the four SKUs the paper
 // presents).
-func (d *Data) Fig7() ([]BarPoint, error) {
+func (d *Data) Fig7() ([]BarPoint, error) { return cached(d, "fig7", d.fig7) }
+
+func (d *Data) fig7() ([]BarPoint, error) {
 	f, err := d.RackDays()
 	if err != nil {
 		return nil, err
@@ -253,7 +267,9 @@ func (d *Data) Fig7() ([]BarPoint, error) {
 }
 
 // Fig8 reproduces Fig 8: failure rate per rack power rating.
-func (d *Data) Fig8() ([]BarPoint, error) {
+func (d *Data) Fig8() ([]BarPoint, error) { return cached(d, "fig8", d.fig8) }
+
+func (d *Data) fig8() ([]BarPoint, error) {
 	f, err := d.RackDays()
 	if err != nil {
 		return nil, err
@@ -293,7 +309,9 @@ var AgeEdges = []float64{0, 5, 10, 15, 20, 25, 30, 35, 40, 100}
 var AgeLabels = []string{"0-5", "5-10", "10-15", "15-20", "20-25", "25-30", "30-35", "35-40", ">40"}
 
 // Fig9 reproduces Fig 9: failure rate vs equipment age.
-func (d *Data) Fig9() ([]BarPoint, error) {
+func (d *Data) Fig9() ([]BarPoint, error) { return cached(d, "fig9", d.fig9) }
+
+func (d *Data) fig9() ([]BarPoint, error) {
 	f, err := d.RackDays()
 	if err != nil {
 		return nil, err
@@ -334,10 +352,14 @@ func (d *Data) overprovFigure(g metrics.Granularity) ([]OverprovCell, error) {
 
 // Fig10 reproduces Fig 10: over-provisioning by LB/MF/SF at daily
 // granularity.
-func (d *Data) Fig10() ([]OverprovCell, error) { return d.overprovFigure(metrics.Daily) }
+func (d *Data) Fig10() ([]OverprovCell, error) { return cached(d, "fig10", d.fig10) }
+
+func (d *Data) fig10() ([]OverprovCell, error) { return d.overprovFigure(metrics.Daily) }
 
 // Fig12 reproduces Fig 12: the same at hourly granularity.
-func (d *Data) Fig12() ([]OverprovCell, error) { return d.overprovFigure(metrics.Hourly) }
+func (d *Data) Fig12() ([]OverprovCell, error) { return cached(d, "fig12", d.fig12) }
+
+func (d *Data) fig12() ([]OverprovCell, error) { return d.overprovFigure(metrics.Hourly) }
 
 // ClusterCDFs is one workload's Fig 11 panel.
 type ClusterCDFs struct {
@@ -346,7 +368,9 @@ type ClusterCDFs struct {
 }
 
 // Fig11 reproduces Fig 11: per-cluster over-provision CDFs for W1 and W6.
-func (d *Data) Fig11() ([]ClusterCDFs, error) {
+func (d *Data) Fig11() ([]ClusterCDFs, error) { return cached(d, "fig11", d.fig11) }
+
+func (d *Data) fig11() ([]ClusterCDFs, error) {
 	var out []ClusterCDFs
 	for _, wl := range []topology.Workload{topology.W1, topology.W6} {
 		sl, err := provision.AnalyzeServerLevel(d.Res, wl, metrics.Daily, nil)
@@ -392,7 +416,9 @@ type CostCell struct {
 
 // Fig13 reproduces Fig 13: component- vs server-level spare cost at
 // 100% availability, daily granularity.
-func (d *Data) Fig13() ([]CostCell, error) {
+func (d *Data) Fig13() ([]CostCell, error) { return cached(d, "fig13", d.fig13) }
+
+func (d *Data) fig13() ([]CostCell, error) {
 	var out []CostCell
 	for _, wl := range []topology.Workload{topology.W1, topology.W6} {
 		cl, err := provision.AnalyzeComponentLevel(d.Res, wl, metrics.Daily, tco.Default())
@@ -447,7 +473,9 @@ func skuBars(ss []skucmp.Stats) []SKUBar {
 }
 
 // Fig14 reproduces Fig 14: the SF comparison of S1-S4.
-func (d *Data) Fig14() ([]SKUBar, error) {
+func (d *Data) Fig14() ([]SKUBar, error) { return cached(d, "fig14", d.fig14) }
+
+func (d *Data) fig14() ([]SKUBar, error) {
 	f, err := d.RackDays()
 	if err != nil {
 		return nil, err
@@ -460,7 +488,9 @@ func (d *Data) Fig14() ([]SKUBar, error) {
 }
 
 // Fig15 reproduces Fig 15: the MF comparison of the two compute SKUs.
-func (d *Data) Fig15() ([]SKUBar, error) {
+func (d *Data) Fig15() ([]SKUBar, error) { return cached(d, "fig15", d.fig15) }
+
+func (d *Data) fig15() ([]SKUBar, error) {
 	f, err := d.RackDays()
 	if err != nil {
 		return nil, err
@@ -473,7 +503,9 @@ func (d *Data) Fig15() ([]SKUBar, error) {
 }
 
 // Fig16 reproduces Fig 16: all-failure rate vs temperature bins.
-func (d *Data) Fig16() ([]BarPoint, error) {
+func (d *Data) Fig16() ([]BarPoint, error) { return cached(d, "fig16", d.fig16) }
+
+func (d *Data) fig16() ([]BarPoint, error) {
 	f, err := d.RackDays()
 	if err != nil {
 		return nil, err
@@ -490,7 +522,9 @@ func (d *Data) Fig16() ([]BarPoint, error) {
 }
 
 // Fig17 reproduces Fig 17: hard-disk failure rate vs temperature bins.
-func (d *Data) Fig17() ([]BarPoint, error) {
+func (d *Data) Fig17() ([]BarPoint, error) { return cached(d, "fig17", d.fig17) }
+
+func (d *Data) fig17() ([]BarPoint, error) {
 	f, err := d.RackDays()
 	if err != nil {
 		return nil, err
@@ -529,7 +563,9 @@ type Fig18Result struct {
 
 // Fig18 reproduces Fig 18: HDD failures vs temperature and RH regimes as
 // identified by the MF approach.
-func (d *Data) Fig18() (*Fig18Result, error) {
+func (d *Data) Fig18() (*Fig18Result, error) { return cached(d, "fig18", d.fig18) }
+
+func (d *Data) fig18() (*Fig18Result, error) {
 	f, err := d.RackDays()
 	if err != nil {
 		return nil, err

@@ -21,6 +21,11 @@ type DCProperty struct {
 
 // TableI reproduces Table I: the two DCs' design properties.
 func (d *Data) TableI() []DCProperty {
+	v, _ := cached(d, "tableI", func() ([]DCProperty, error) { return d.tableI(), nil })
+	return v
+}
+
+func (d *Data) tableI() []DCProperty {
 	out := make([]DCProperty, 0, len(d.Res.Fleet.DCs))
 	for _, dc := range d.Res.Fleet.DCs {
 		out = append(out, DCProperty{
@@ -46,6 +51,11 @@ type TicketMix struct {
 
 // TableII reproduces Table II: classification of failure tickets.
 func (d *Data) TableII() []TicketMix {
+	v, _ := cached(d, "tableII", func() ([]TicketMix, error) { return d.tableII(), nil })
+	return v
+}
+
+func (d *Data) tableII() []TicketMix {
 	gen := [2]map[ticket.Fault]float64{
 		ticket.Mix(d.Res.Tickets, 0),
 		ticket.Mix(d.Res.Tickets, 1),
@@ -76,6 +86,11 @@ type Feature struct {
 
 // TableIII reproduces Table III: the candidate feature list.
 func (d *Data) TableIII() []Feature {
+	v, _ := cached(d, "tableIII", func() ([]Feature, error) { return d.tableIII(), nil })
+	return v
+}
+
+func (d *Data) tableIII() []Feature {
 	dc1 := d.Res.Fleet.DCs[0]
 	dc2 := d.Res.Fleet.DCs[1]
 	return []Feature{
@@ -118,6 +133,10 @@ var paperTableIV = map[string]map[float64]float64{
 // TableIV reproduces Table IV: relative TCO savings of MF over SF across
 // SLAs, granularities, and the two study workloads.
 func (d *Data) TableIV() ([]TCOSaving, error) {
+	return cached(d, "tableIV", d.tableIV)
+}
+
+func (d *Data) tableIV() ([]TCOSaving, error) {
 	model := tco.Default()
 	var out []TCOSaving
 	for _, g := range []metrics.Granularity{metrics.Daily, metrics.Hourly} {

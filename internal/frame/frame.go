@@ -92,6 +92,22 @@ func (f *Frame) Names() []string {
 	return out
 }
 
+// ShallowClone returns a frame with its own column list and name index
+// that shares the underlying data slices. Analyses that attach derived
+// columns (labels, bins) to a frame other goroutines are reading must
+// clone first: adding to the clone leaves the original untouched.
+func (f *Frame) ShallowClone() *Frame {
+	cl := &Frame{
+		cols:  append([]Column(nil), f.cols...),
+		index: make(map[string]int, len(f.index)),
+		rows:  f.rows,
+	}
+	for name, i := range f.index {
+		cl.index[name] = i
+	}
+	return cl
+}
+
 // AddContinuous appends a continuous column. The data slice is adopted,
 // not copied.
 func (f *Frame) AddContinuous(name string, data []float64) error {

@@ -19,6 +19,7 @@
 package pdp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -26,6 +27,7 @@ import (
 
 	"rainshine/internal/cart"
 	"rainshine/internal/frame"
+	"rainshine/internal/parallel"
 	"rainshine/internal/stats"
 )
 
@@ -44,6 +46,13 @@ type Point struct {
 // evaluated at up to gridSize quantile-spaced points; for categorical
 // features at every level.
 func Compute(tree *cart.Tree, f *frame.Frame, feature string, gridSize int) ([]Point, error) {
+	return ComputeContext(context.Background(), tree, f, feature, gridSize, 1)
+}
+
+// ComputeContext is Compute with the grid points fanned across workers.
+// Each point owns its slot of the curve and keeps the serial row-sum
+// order, so the curve is identical for every worker count.
+func ComputeContext(ctx context.Context, tree *cart.Tree, f *frame.Frame, feature string, gridSize, workers int) ([]Point, error) {
 	if gridSize <= 0 {
 		gridSize = 20
 	}
@@ -79,8 +88,8 @@ func Compute(tree *cart.Tree, f *frame.Frame, feature string, gridSize int) ([]P
 		}
 		cols[i] = c.Data
 	}
-	x := make([]float64, len(cols))
-	for gi := range grid {
+	err = parallel.ForEach(ctx, workers, len(grid), func(gi int) error {
+		x := make([]float64, len(cols))
 		sum := 0.0
 		for r := 0; r < f.NumRows(); r++ {
 			for i, c := range cols {
@@ -89,11 +98,15 @@ func Compute(tree *cart.Tree, f *frame.Frame, feature string, gridSize int) ([]P
 			x[fi] = grid[gi].Value
 			p, err := tree.Predict(x)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sum += p
 		}
 		grid[gi].Effect = sum / float64(f.NumRows())
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return grid, nil
 }

@@ -13,6 +13,7 @@
 package predict
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -47,6 +48,10 @@ type Config struct {
 	Tree cart.Config
 	// Seed drives the downsampling stream. Zero means rng.DefaultSeed.
 	Seed uint64
+	// Workers bounds the fit and scoring fan-out (cart.Config.Workers
+	// semantics: 0 means GOMAXPROCS, 1 forces serial). Results are
+	// identical for every worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +105,12 @@ type Result struct {
 // metrics.RackDayFrame). The frame must contain "day" and "failures"
 // columns plus the configured features.
 func Train(f *frame.Frame, cfg Config) (*Result, error) {
+	return TrainContext(context.Background(), f, cfg)
+}
+
+// TrainContext is Train under a context, fanning the fit and the test
+// scoring across cfg.Workers goroutines.
+func TrainContext(ctx context.Context, f *frame.Frame, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.TrainFraction <= 0 || cfg.TrainFraction >= 1 {
 		return nil, fmt.Errorf("predict: train fraction %v outside (0,1)", cfg.TrainFraction)
@@ -129,6 +140,9 @@ func Train(f *frame.Frame, cfg Config) (*Result, error) {
 	}
 	work := f
 	if _, err := work.Col("fail_label"); err != nil {
+		// Clone instead of mutating: f is typically the study's shared
+		// rack-day frame, read concurrently by other analyses.
+		work = f.ShallowClone()
 		if err := work.AddNominalInts("fail_label", labels, []string{"ok", "fail"}); err != nil {
 			return nil, err
 		}
@@ -154,12 +168,15 @@ func Train(f *frame.Frame, cfg Config) (*Result, error) {
 
 	treeCfg := cfg.Tree
 	treeCfg.Task = cart.Classification
-	tree, err := cart.Fit(train, "fail_label", cfg.Features, treeCfg)
+	if treeCfg.Workers == 0 {
+		treeCfg.Workers = cfg.Workers
+	}
+	tree, err := cart.FitContext(ctx, train, "fail_label", cfg.Features, treeCfg)
 	if err != nil {
 		return nil, fmt.Errorf("predict: fitting: %w", err)
 	}
 
-	scores, err := tree.ProbaFrame(test, 1)
+	scores, err := tree.ProbaFrameContext(ctx, test, 1, treeCfg.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -266,6 +266,11 @@ func mfFraction(needs []rackNeed, clusterOf []int, clustering *core.Clustering, 
 // per-rack requirement fraction (100% SLA) as the target.
 func clusterRacks(res *simulate.Result, racks []*topology.Rack, needs []rackNeed, opts Options) (*core.Clustering, []int, error) {
 	opts = opts.withDefaults()
+	if opts.CART.Workers == 0 {
+		// Inherit the study-wide worker budget (deterministic for any
+		// value, so this only changes speed).
+		opts.CART.Workers = res.Cfg.Workers
+	}
 	full, err := metrics.RackFeatureFrame(res.Fleet, res.Days)
 	if err != nil {
 		return nil, nil, err

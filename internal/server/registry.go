@@ -59,9 +59,19 @@ func (c StudyConfig) Options() []rainshine.Option {
 // buildFunc constructs a study; swapped out by tests.
 type buildFunc func(ctx context.Context, cfg StudyConfig) (*rainshine.Study, error)
 
-// buildStudy is the production buildFunc.
-func buildStudy(ctx context.Context, cfg StudyConfig) (*rainshine.Study, error) {
-	return rainshine.NewStudyContext(ctx, cfg.Options()...)
+// buildStudyWith returns the production buildFunc. workers bounds each
+// study's simulation and analysis fan-out (cart.Config.Workers
+// semantics: 0 means GOMAXPROCS, 1 forces serial); it is a server-level
+// tuning knob, not part of the cache key, because every worker count
+// produces byte-identical studies.
+func buildStudyWith(workers int) buildFunc {
+	return func(ctx context.Context, cfg StudyConfig) (*rainshine.Study, error) {
+		opts := cfg.Options()
+		if workers != 0 {
+			opts = append(opts, rainshine.WithWorkers(workers))
+		}
+		return rainshine.NewStudyContext(ctx, opts...)
+	}
 }
 
 // buildCall is one in-flight study construction shared by every request
@@ -105,7 +115,7 @@ func newRegistry(capacity int, m *Metrics, build buildFunc) *registry {
 		capacity = 1
 	}
 	if build == nil {
-		build = buildStudy
+		build = buildStudyWith(0)
 	}
 	return &registry{
 		build:    build,

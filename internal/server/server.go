@@ -44,6 +44,15 @@ type Config struct {
 	Timeout time.Duration
 	// Logf sinks request-path diagnostics (default log.Printf).
 	Logf func(format string, args ...any)
+	// Workers bounds each study's simulation and analysis fan-out
+	// (cart.Config.Workers semantics: 0 means GOMAXPROCS, 1 forces
+	// serial). Not part of the study cache key: every worker count
+	// produces byte-identical studies and reports.
+	Workers int
+	// Warmup materializes every table and figure of a freshly built
+	// study — through the study's worker pool — before the registry
+	// publishes it, so the first requests are served from memory.
+	Warmup bool
 
 	// build overrides study construction (tests).
 	build buildFunc
@@ -74,10 +83,29 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
+	build := cfg.build
+	if build == nil {
+		build = buildStudyWith(cfg.Workers)
+	}
+	if cfg.Warmup {
+		inner := build
+		build = func(ctx context.Context, sc StudyConfig) (*rainshine.Study, error) {
+			st, err := inner(ctx, sc)
+			if err != nil {
+				return nil, err
+			}
+			// Warm inside the build so the singleflight publishes a
+			// study whose figure cache is already populated.
+			if err := st.Warmup(ctx); err != nil {
+				return nil, fmt.Errorf("server: warming study: %w", err)
+			}
+			return st, nil
+		}
+	}
 	s := &Server{
 		cfg:     cfg,
 		metrics: m,
-		reg:     newRegistry(cfg.CacheSize, m, cfg.build),
+		reg:     newRegistry(cfg.CacheSize, m, build),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -236,7 +264,7 @@ func (s *Server) handleQ3(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	rep, err := st.ClimateGuidance()
+	rep, err := st.ClimateGuidanceContext(r.Context())
 	s.evaluate(w, rep, err)
 }
 

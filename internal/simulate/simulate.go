@@ -15,14 +15,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"rainshine/internal/climate"
 	"rainshine/internal/dist"
 	"rainshine/internal/failure"
 	"rainshine/internal/faults"
+	"rainshine/internal/parallel"
 	"rainshine/internal/rng"
 	"rainshine/internal/ticket"
 	"rainshine/internal/topology"
@@ -173,49 +172,27 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 	res := &Result{Cfg: cfg, Fleet: fleet, Climate: clim, Hazard: hz, Days: cfg.Days}
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(fleet.Racks) {
-		workers = len(fleet.Racks)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	// Racks are independent given their pre-split RNG streams: fan them
+	// across the pool. Each rack owns its slot of perRack, and the merge
+	// below walks rack order, so results are identical for any worker
+	// count (the parallel layer also drains remaining racks without
+	// simulating them once ctx is canceled).
 	perRack := make([][]Event, len(fleet.Racks))
-	errs := make([]error, len(fleet.Racks))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ri := range next {
-				// Cancellation checkpoint: once the caller is gone, drain
-				// the remaining racks without simulating them.
-				if err := ctx.Err(); err != nil {
-					errs[ri] = err
-					continue
-				}
-				rack := &fleet.Racks[ri]
-				rsrc := root.SplitIndex("events/rack", ri)
-				perRack[ri], errs[ri] = simulateRack(res, rack, rsrc)
-			}
-		}()
-	}
-	for ri := range fleet.Racks {
-		next <- ri
-	}
-	close(next)
-	wg.Wait()
+	forErr := parallel.ForEach(ctx, cfg.Workers, len(fleet.Racks), func(ri int) error {
+		rack := &fleet.Racks[ri]
+		rsrc := root.SplitIndex("events/rack", ri)
+		var err error
+		perRack[ri], err = simulateRack(res, rack, rsrc)
+		if err != nil {
+			return fmt.Errorf("simulate: rack %d: %w", ri, err)
+		}
+		return nil
+	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	for ri, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("simulate: rack %d: %w", ri, err)
-		}
+	if forErr != nil {
+		return nil, forErr
 	}
 	// Deterministic merge in rack order, independent of scheduling.
 	total := 0

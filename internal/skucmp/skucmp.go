@@ -110,6 +110,10 @@ func AnalyzeMF(f *frame.Frame, skus []topology.SKU) ([]Stats, error) {
 	}
 	covs := append([]string(nil), MFCovariates...)
 	if _, err := f.Col("power_kw_bin"); err != nil {
+		// Clone before binning: with no SKU filter f is the caller's
+		// (possibly shared) frame, and concurrent readers must not see
+		// the derived column appear.
+		f = f.ShallowClone()
 		if _, err := pdp.BinContinuous(f, "power_kw", []float64{0, 10, 20}); err != nil {
 			return nil, fmt.Errorf("skucmp: binning power: %w", err)
 		}
@@ -161,6 +165,7 @@ type Significance struct {
 // covariates (power is binned on demand, as in AnalyzeMF).
 func MFSignificance(f *frame.Frame, a, b topology.SKU) (*Significance, error) {
 	if _, err := f.Col("power_kw_bin"); err != nil {
+		f = f.ShallowClone() // never mutate the caller's shared frame
 		if _, err := pdp.BinContinuous(f, "power_kw", []float64{0, 10, 20}); err != nil {
 			return nil, fmt.Errorf("skucmp: binning power: %w", err)
 		}

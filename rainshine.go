@@ -136,6 +136,16 @@ func WithoutSoftwareTickets() Option {
 	return func(c *simulate.Config) { c.SkipNonHardware = true }
 }
 
+// WithWorkers bounds the study's worker pool: the simulation fan-out and
+// every downstream analysis (CART fits, cross-validation, the Q3
+// pipeline, figure warmup) schedule at most n goroutines. Zero or
+// negative means GOMAXPROCS; 1 forces the serial path. Every analysis is
+// deterministic for any worker count — n only changes speed, never a
+// single byte of output.
+func WithWorkers(n int) Option {
+	return func(c *simulate.Config) { c.Workers = n }
+}
+
 // FaultConfig sets per-class rates for the deterministic fault injector
 // (dirty-data mode): sensor dropouts and stuck-at readings, duplicate
 // and clock-skewed tickets, and damaged export cells. See
@@ -197,6 +207,18 @@ func NewStudyContext(ctx context.Context, opts ...Option) (*Study, error) {
 // Figures exposes the per-table/figure regenerators (internal/figures).
 // The CLI, benchmarks, and EXPERIMENTS.md are all built on this.
 func (s *Study) Figures() *figures.Data { return s.data }
+
+// workers returns the study-wide worker budget (simulate.Config
+// semantics: 0 means GOMAXPROCS, 1 means serial).
+func (s *Study) workers() int { return s.data.Res.Cfg.Workers }
+
+// Warmup materializes every table and figure through the study's worker
+// pool and keeps them cached, so subsequent Figures() calls are served
+// from memory. Long-lived services call this once after construction;
+// one-shot batch runs don't need it.
+func (s *Study) Warmup(ctx context.Context) error {
+	return s.data.Warmup(ctx, s.workers())
+}
 
 // Tickets returns the study's full RMA ticket stream (including false
 // positives, which analyses filter).
@@ -524,7 +546,7 @@ func (s *Study) FailurePrediction() (*PredictionReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := predict.Train(f, predict.Config{Balance: true})
+	res, err := predict.Train(f, predict.Config{Balance: true, Workers: s.workers()})
 	if err != nil {
 		return nil, err
 	}
@@ -570,11 +592,19 @@ type ClimateReport struct {
 
 // ClimateGuidance runs Q3 over the study's rack-day data.
 func (s *Study) ClimateGuidance() (*ClimateReport, error) {
+	return s.ClimateGuidanceContext(context.Background())
+}
+
+// ClimateGuidanceContext is ClimateGuidance under a context: the Q3
+// pipeline (three CART fits, PDP grids, the humidity boundary scan)
+// fans across the study's worker pool and stops early when ctx is
+// canceled — the variant the serving path uses per request.
+func (s *Study) ClimateGuidanceContext(ctx context.Context) (*ClimateReport, error) {
 	f, err := s.data.RackDays()
 	if err != nil {
 		return nil, err
 	}
-	res, err := envan.Analyze(f, cart.Config{})
+	res, err := envan.AnalyzeContext(ctx, f, cart.Config{Workers: s.workers()})
 	if err != nil {
 		return nil, err
 	}
