@@ -3,15 +3,24 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve-load repro outputs examples fuzz clean
+.PHONY: all build vet lint test race bench serve-load repro outputs examples fuzz clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# rainshinelint: the repo's own analyzer suite (detrand, frameclone,
+# ctxflow, nansafe, parsafe) run over every package, both standalone and
+# as a `go vet -vettool`. Suppressions are per-line //lint:allow
+# annotations with a reason; there are no package-wide excludes.
+lint:
+	$(GO) build -o bin/rainshinelint ./cmd/rainshinelint
+	bin/rainshinelint ./...
+	$(GO) vet -vettool=bin/rainshinelint ./...
 
 test:
 	$(GO) test ./...

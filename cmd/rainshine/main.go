@@ -47,6 +47,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -201,8 +202,14 @@ func analyzeClimateCSV(path string, out io.Writer) error {
 	if !math.IsNaN(rep.RHThreshold) {
 		fmt.Fprintf(out, "  dry-air knee (when hot): %.1f %% RH\n", rep.RHThreshold)
 	}
-	for dc, hot := range rep.HotPenalty {
-		fmt.Fprintf(out, "  %s: disk failure rate x%.2f above the knee\n", dc, hot)
+	// Sorted DCs: the report must be byte-identical run to run.
+	dcs := make([]string, 0, len(rep.HotPenalty))
+	for dc := range rep.HotPenalty {
+		dcs = append(dcs, dc)
+	}
+	sort.Strings(dcs)
+	for _, dc := range dcs {
+		fmt.Fprintf(out, "  %s: disk failure rate x%.2f above the knee\n", dc, rep.HotPenalty[dc])
 	}
 	if rep.DataCoverage < 1 {
 		fmt.Fprintf(out, "  cell coverage: %.2f%% (non-finite cells excluded per split)\n", 100*rep.DataCoverage)

@@ -1,0 +1,300 @@
+// Command rainshinelint runs the repository's invariant suite — the
+// five analyzers in internal/analyzers — in two modes:
+//
+//	rainshinelint ./...          standalone: loads packages itself
+//	go vet -vettool=rainshinelint ./...   unitchecker protocol
+//
+// Standalone mode resolves the module by walking up to go.mod and
+// type-checks everything from source (stdlib included), so it needs no
+// network, no module cache, and no pre-built export data. The vettool
+// mode speaks cmd/go's JSON .cfg protocol and type-checks against the
+// export data files the go command supplies.
+//
+// Exit status: 0 clean, 1 findings or usage error (standalone),
+// 2 findings (vettool protocol, matching x/tools unitchecker).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rainshine/internal/analysis"
+	"rainshine/internal/analysis/load"
+	"rainshine/internal/analyzers"
+)
+
+func main() {
+	args := os.Args[1:]
+	// go vet handshake: version for build caching, flag discovery.
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "-V"):
+			fmt.Println("rainshinelint version 1 (invariant suite: ctxflow detrand frameclone nansafe parsafe)")
+			return
+		case a == "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vettool(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+// diag is one finding ready for printing.
+type diag struct {
+	pos      token.Position
+	analyzer string
+	message  string
+}
+
+func (d diag) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.pos, d.message, d.analyzer)
+}
+
+// runSuite applies every analyzer to one loaded package and returns the
+// findings that survive //lint:allow suppression.
+func runSuite(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []diag {
+	allows := analysis.CollectAllows(fset, files)
+	var out []diag
+	for _, pos := range allows.Invalid {
+		out = append(out, diag{fset.Position(pos), "lint", "malformed //lint:allow: need `//lint:allow <analyzer> <reason>`"})
+	}
+	for _, a := range analyzers.All() {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			if !allows.Allowed(fset, d) {
+				out = append(out, diag{fset.Position(d.Pos), d.Analyzer, d.Message})
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			out = append(out, diag{token.Position{}, a.Name, fmt.Sprintf("analyzer error: %v", err)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos.Filename != out[j].pos.Filename {
+			return out[i].pos.Filename < out[j].pos.Filename
+		}
+		return out[i].pos.Offset < out[j].pos.Offset
+	})
+	// Nested constructs (a map range inside a map range) can surface
+	// the same finding twice; report each once.
+	dedup := out[:0]
+	for i, d := range out {
+		if i == 0 || d != out[i-1] {
+			dedup = append(dedup, d)
+		}
+	}
+	return dedup
+}
+
+// standalone lints the module containing the working directory.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	module, root, err := findModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rainshinelint:", err)
+		return 1
+	}
+	paths, err := expand(module, root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rainshinelint:", err)
+		return 1
+	}
+	loader := load.NewLoader(module, root)
+	bad := 0
+	for _, path := range paths {
+		p, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rainshinelint: %v\n", err)
+			bad++
+			continue
+		}
+		for _, d := range runSuite(p.Fset, p.Files, p.Types, p.Info) {
+			fmt.Fprintln(os.Stderr, d)
+			bad++
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModule walks up from the working directory to go.mod.
+func findModule() (module, root string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if m, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return strings.TrimSpace(m), dir, nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// expand resolves package patterns: "./..." (or "all") covers the whole
+// module, other entries are import paths or ./-relative directories.
+func expand(module, root string, patterns []string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "all" || pat == module+"/...":
+			all, err := load.ModulePackages(module, root)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range all {
+				add(p)
+			}
+		case strings.HasPrefix(pat, "./"):
+			rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(pat, "./")))
+			if rel == "." {
+				add(module)
+			} else {
+				add(module + "/" + rel)
+			}
+		default:
+			add(pat)
+		}
+	}
+	return out, nil
+}
+
+// --- go vet -vettool protocol -----------------------------------------
+
+// vetConfig mirrors the JSON config cmd/go hands a vettool per package.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func vettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rainshinelint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "rainshinelint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Facts are not used by this suite, but the go command caches the
+	// output file, so it must exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("rainshinelint\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "rainshinelint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || isTestVariant(cfg.ImportPath) {
+		return 0
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "rainshinelint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{Importer: imp, Error: func(error) {}}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "rainshinelint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	found := 0
+	for _, d := range runSuite(fset, files, pkg, info) {
+		fmt.Fprintln(os.Stderr, d)
+		found++
+	}
+	if found > 0 {
+		return 2
+	}
+	return 0
+}
+
+// isTestVariant recognizes the per-package test builds go vet also
+// feeds the tool; the invariants are production-only.
+func isTestVariant(importPath string) bool {
+	return strings.Contains(importPath, " [") ||
+		strings.HasSuffix(importPath, ".test") ||
+		strings.HasSuffix(importPath, "_test")
+}

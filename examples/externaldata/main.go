@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"sort"
 
 	"rainshine"
 )
@@ -44,8 +45,14 @@ func main() {
 	if !math.IsNaN(rep.RHThreshold) {
 		fmt.Printf("MF-discovered dry-air knee (when hot): %.1f %% RH\n", rep.RHThreshold)
 	}
-	for dc, hot := range rep.HotPenalty {
-		fmt.Printf("%s: disks fail %.0f%% more above the knee\n", dc, 100*(hot-1))
+	// Sorted DCs keep the example's output byte-identical run to run.
+	dcs := make([]string, 0, len(rep.HotPenalty))
+	for dc := range rep.HotPenalty {
+		dcs = append(dcs, dc)
+	}
+	sort.Strings(dcs)
+	for _, dc := range dcs {
+		fmt.Printf("%s: disks fail %.0f%% more above the knee\n", dc, 100*(rep.HotPenalty[dc]-1))
 	}
 	fmt.Println()
 	fmt.Println("The same entry point accepts your production rack-day table: columns")

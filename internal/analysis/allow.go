@@ -1,0 +1,72 @@
+// //lint:allow suppression: the one escape hatch the suite offers.
+// A diagnostic is suppressed only by an annotation naming the analyzer
+// and carrying a reason, either trailing the offending line or on the
+// line directly above it:
+//
+//	bctx := context.Background() //lint:allow ctxflow detached build outlives requesters
+//
+//	//lint:allow nansafe hours are finite by construction
+//	enc.Encode(rec)
+//
+// There are deliberately no file- or package-wide excludes; every
+// suppression is visible at the line it exempts.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const allowPrefix = "//lint:allow "
+
+// allowKey identifies one suppressed (file, line, analyzer) triple.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// AllowSet records which lines carry //lint:allow annotations.
+type AllowSet struct {
+	keys map[allowKey]bool
+	// Invalid lists annotations without a reason; the driver reports
+	// them so a bare `//lint:allow name` cannot silently suppress.
+	Invalid []token.Pos
+}
+
+// CollectAllows scans the comments of files for //lint:allow
+// annotations.
+func CollectAllows(fset *token.FileSet, files []*ast.File) *AllowSet {
+	s := &AllowSet{keys: map[allowKey]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					if strings.HasPrefix(c.Text, "//lint:allow") {
+						s.Invalid = append(s.Invalid, c.Pos())
+					}
+					continue
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					s.Invalid = append(s.Invalid, c.Pos())
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// The annotation covers its own line; a comment alone on
+				// a line also covers the next line.
+				s.keys[allowKey{pos.Filename, pos.Line, name}] = true
+				s.keys[allowKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	return s
+}
+
+// Allowed reports whether diagnostic d is suppressed by an annotation.
+func (s *AllowSet) Allowed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	return s.keys[allowKey{pos.Filename, pos.Line, d.Analyzer}]
+}

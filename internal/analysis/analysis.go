@@ -1,0 +1,116 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects
+// one type-checked package at a time and reports position-anchored
+// diagnostics. The repository vendors no external modules, so the suite
+// in internal/analyzers builds on this package instead of x/tools; the
+// API mirrors x/tools closely enough that migrating later is mechanical.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker. Run inspects a single
+// package via its Pass and reports findings through pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name>` suppression annotations.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// Analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's parsed source files (tests excluded:
+	// the invariants guard production code, and test fixtures violate
+	// them on purpose).
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver attributes it to the
+	// running analyzer and applies `//lint:allow` suppression.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// Preorder walks every file in the pass in depth-first preorder,
+// invoking fn on each node matching one of the types of the values in
+// filter (or every node when filter is empty). It is the moral
+// equivalent of the x/tools inspect pass for a suite this size.
+func (p *Pass) Preorder(fn func(ast.Node)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+// FuncFor returns the innermost enclosing function declaration or
+// literal for pos within file, or nil.
+func FuncFor(file *ast.File, pos token.Pos) ast.Node {
+	var enclosing ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if pos < n.Pos() || pos >= n.End() {
+			return false // prune subtrees that do not contain pos
+		}
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			enclosing = n
+		}
+		return true
+	})
+	return enclosing
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. Drivers that feed test files through the suite (the vettool
+// protocol does) use it to keep the invariants production-only.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	name := fset.Position(pos).Filename
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}
+
+// ObjectOf resolves the called function object for a call expression,
+// unwrapping parenthesized callees. Returns nil for calls through
+// non-function expressions (conversions, function-valued variables).
+func ObjectOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

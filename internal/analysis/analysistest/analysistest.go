@@ -1,0 +1,128 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src tree and checks its diagnostics against // want
+// annotations, mirroring the golang.org/x/tools package of the same
+// name:
+//
+//	x := rand.Int() // want `unseeded randomness`
+//
+// Each annotation holds one or more quoted regular expressions that
+// must each match a diagnostic reported on that line; diagnostics
+// without a matching annotation fail the test, as do annotations left
+// unmatched — so fixture lines without annotations double as negative
+// (allowed) cases.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rainshine/internal/analysis"
+	"rainshine/internal/analysis/load"
+)
+
+// wantRe extracts the quoted expectations from a // want comment.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads each fixture package from dir/src and applies a.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := load.NewLoader("analysistest.invalid", dir)
+	loader.FixtureRoot = filepath.Join(dir, "src")
+	for _, pkg := range pkgs {
+		p, err := loader.Load(pkg)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkg, err)
+		}
+		var got []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      p.Fset,
+			Files:     p.Files,
+			Pkg:       p.Types,
+			TypesInfo: p.Info,
+			Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: running %s: %v", pkg, a.Name, err)
+		}
+		check(t, p, a.Name, got)
+	}
+}
+
+// expectation is one // want regexp with match bookkeeping.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+func check(t *testing.T, p *load.Package, name string, got []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[lineKey][]*expectation{}
+	for _, f := range p.Files {
+		collectWants(t, p.Fset, f, wants)
+	}
+	for _, d := range got {
+		pos := p.Fset.Position(d.Pos)
+		key := lineKey{pos.Filename, pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", name, position(pos), d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic at %s:%d matching %q", name, filepath.Base(key.file), key.line, w.raw)
+			}
+		}
+	}
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, wants map[lineKey][]*expectation) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, q := range wantRe.FindAllString(rest, -1) {
+				text := q
+				if strings.HasPrefix(q, "`") {
+					text = strings.Trim(q, "`")
+				} else if u, err := strconv.Unquote(q); err == nil {
+					text = u
+				}
+				re, err := regexp.Compile(text)
+				if err != nil {
+					t.Fatalf("bad want regexp %q at %s: %v", text, position(pos), err)
+				}
+				key := lineKey{pos.Filename, pos.Line}
+				wants[key] = append(wants[key], &expectation{re: re, raw: text})
+			}
+		}
+	}
+}
+
+func position(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+}

@@ -1,0 +1,25 @@
+// Package analyzers registers the rainshinelint suite: the five custom
+// passes that machine-check the repository's determinism, aliasing,
+// context, and JSON-stability invariants (see DESIGN.md, "Enforced
+// invariants").
+package analyzers
+
+import (
+	"rainshine/internal/analysis"
+	"rainshine/internal/analyzers/ctxflow"
+	"rainshine/internal/analyzers/detrand"
+	"rainshine/internal/analyzers/frameclone"
+	"rainshine/internal/analyzers/nansafe"
+	"rainshine/internal/analyzers/parsafe"
+)
+
+// All returns the full suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		detrand.Analyzer,
+		frameclone.Analyzer,
+		nansafe.Analyzer,
+		parsafe.Analyzer,
+	}
+}

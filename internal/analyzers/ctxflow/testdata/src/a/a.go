@@ -1,0 +1,57 @@
+// Package a exercises the ctxflow threading and Background rules.
+package a
+
+import "context"
+
+// WorkContext is the cancellable variant.
+func WorkContext(ctx context.Context, n int) int { return n }
+
+// Work is WorkContext with context.Background() — a documented facade
+// shim (negative case).
+func Work(n int) int {
+	return WorkContext(context.Background(), n)
+}
+
+// FetchContext is the cancellable variant of Fetch.
+func FetchContext(ctx context.Context, n int) int { return n }
+
+// Fetch forgets to name its variant in this comment.
+func Fetch(n int) int {
+	return FetchContext(context.Background(), n) // want `facade shim Fetch must name FetchContext in its doc comment`
+}
+
+// Sneaky mints a context outside the facade shape.
+func Sneaky() int {
+	ctx := context.Background() // want `outside main, tests, and facade shims`
+	<-ctx.Done()
+	return 0
+}
+
+// Driver holds a ctx but calls the ctx-free entry point.
+func Driver(ctx context.Context) int {
+	return Work(1) // want `call to Work ignores its context-aware variant WorkContext`
+}
+
+// Threaded passes its ctx through (negative case).
+func Threaded(ctx context.Context) int {
+	return WorkContext(ctx, 2)
+}
+
+// Client exercises the method-set sibling lookup.
+type Client struct{}
+
+// Get is the ctx-free method.
+func (c *Client) Get() int { return 0 }
+
+// GetContext is its cancellable sibling.
+func (c *Client) GetContext(ctx context.Context) int { return 0 }
+
+// UseClient drops its ctx on the floor.
+func UseClient(ctx context.Context, c *Client) int {
+	return c.Get() // want `call to Get ignores its context-aware variant GetContext`
+}
+
+// UseClientCtx threads it (negative case).
+func UseClientCtx(ctx context.Context, c *Client) int {
+	return c.GetContext(ctx)
+}

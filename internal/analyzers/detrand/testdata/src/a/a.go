@@ -1,0 +1,69 @@
+// Package a exercises the detrand rules: unseeded randomness, wall
+// clock reads, and map-order leaks.
+package a
+
+import (
+	"fmt"
+	"io"
+	"math/rand" // want `import of math/rand outside internal/rng`
+	"sort"
+	"time"
+)
+
+// Draw trips the randomness rule through the import above.
+func Draw() int {
+	return rand.Int()
+}
+
+// Stamp reads the wall clock outside the allowlist.
+func Stamp() int64 {
+	return time.Now().Unix() // want `time.Now outside the wall-clock allowlist`
+}
+
+// Keys leaks map iteration order into the returned slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appending to out while ranging over a map without sorting it afterwards`
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned collect-keys-then-sort idiom (negative).
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump streams rows in map iteration order.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `emitting output while ranging over a map`
+	}
+}
+
+// Regroup accumulates into a bucket not keyed by the range variables.
+func Regroup(m map[string]int, other string) map[string][]string {
+	b := map[string][]string{}
+	for k := range m {
+		b[other] = append(b[other], k) // want `appending to a bucket not keyed by this map range's variables`
+	}
+	return b
+}
+
+// Buckets regroups keyed by the range's own variable (negative): one
+// bucket per iteration is deterministic regardless of visit order.
+func Buckets(pairs map[string]int) map[int][]string {
+	b := map[int][]string{}
+	for k, v := range pairs {
+		b[v] = append(b[v], k)
+	}
+	for _, s := range b {
+		sort.Strings(s)
+	}
+	return b
+}

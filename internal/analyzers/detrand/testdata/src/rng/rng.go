@@ -1,0 +1,16 @@
+// Package rng is the analysistest twin of rainshine/internal/rng: the
+// one package allowed to import math/rand (negative case).
+package rng
+
+import "math/rand"
+
+// Source wraps a seeded PCG stream.
+type Source struct{ r *rand.Rand }
+
+// New seeds a stream.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 draws from the seeded stream.
+func (s *Source) Float64() float64 { return s.r.Float64() }

@@ -1,0 +1,13 @@
+// Command timedmain shows the package-main wall-clock exemption
+// (negative case): CLI progress timing is not analysis output.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

@@ -1,0 +1,245 @@
+// Package frameclone guards the shared-frame aliasing contract: a
+// *frame.Frame received as a parameter of an exported function is
+// potentially shared with concurrent readers, so attaching columns to
+// it (AddContinuous and friends) without first re-pointing the variable
+// at a ShallowClone (or another fresh frame) is the exact race class
+// the predict/skucmp fixes closed by hand.
+//
+// The pass tracks, in source order, which frame-typed variables alias a
+// parameter: an assignment from ShallowClone/Subset/Filter/Select or
+// frame.New cleanses the variable, a plain alias (work := f) inherits
+// the taint. Mutating calls on a still-tainted variable are reported.
+// Unexported functions are builders operating on locally owned frames
+// and are exempt; the package defining Frame is the implementation and
+// is skipped entirely.
+package frameclone
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"rainshine/internal/analysis"
+)
+
+// Analyzer is the frameclone pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "frameclone",
+	Doc:  "require ShallowClone before attaching columns to a parameter-received *frame.Frame in exported functions",
+	Run:  run,
+}
+
+// mutators are the column-attaching frame methods.
+var mutators = map[string]bool{
+	"AddContinuous":     true,
+	"AddNominalInts":    true,
+	"AddNominalStrings": true,
+	"AddOrdinalInts":    true,
+}
+
+// cleansers are the frame methods returning a frame the caller owns.
+var cleansers = map[string]bool{
+	"ShallowClone": true,
+	"Subset":       true,
+	"Filter":       true,
+	"Select":       true,
+}
+
+func run(pass *analysis.Pass) error {
+	if definesFrame(pass.Pkg) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// definesFrame reports whether pkg is the frame implementation itself.
+func definesFrame(pkg *types.Package) bool {
+	obj, ok := pkg.Scope().Lookup("Frame").(*types.TypeName)
+	if !ok {
+		return false
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "ShallowClone" {
+			return true
+		}
+	}
+	return false
+}
+
+// isFramePtr matches *frame.Frame (any package whose Frame type has a
+// ShallowClone method, so the analysistest fixture twin counts too).
+func isFramePtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Frame" {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "ShallowClone" {
+			return true
+		}
+	}
+	return false
+}
+
+// event is one taint-relevant statement, replayed in source order.
+type event struct {
+	pos token.Pos
+	run func(tainted map[*types.Var]bool, report func(token.Pos, string))
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Seed the taint set with the frame-typed parameters.
+	tainted := map[*types.Var]bool{}
+	sig, ok := pass.TypesInfo.Defs[fd.Name].Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if p := sig.Params().At(i); isFramePtr(p.Type()) {
+			tainted[p] = true
+		}
+	}
+	if len(tainted) == 0 {
+		return
+	}
+
+	var events []event
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			events = append(events, assignEvents(pass, n)...)
+		case *ast.CallExpr:
+			if ev, ok := mutationEvent(pass, n); ok {
+				events = append(events, ev)
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	for _, ev := range events {
+		ev.run(tainted, func(pos token.Pos, name string) {
+			pass.Reportf(pos, "attaching a column to %s, which aliases a parameter frame shared with the caller; ShallowClone it first", name)
+		})
+	}
+}
+
+// assignEvents classifies each lhs := rhs pair: cleansing calls clear
+// the taint, plain aliases of tainted variables propagate it.
+func assignEvents(pass *analysis.Pass, as *ast.AssignStmt) []event {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	var out []event
+	for i := range as.Lhs {
+		lhs, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj, ok := pass.TypesInfo.ObjectOf(lhs).(*types.Var)
+		if !ok || !isFramePtr(obj.Type()) {
+			continue
+		}
+		rhs := ast.Unparen(as.Rhs[i])
+		switch {
+		case isCleansingExpr(pass, rhs):
+			out = append(out, event{as.Pos(), func(t map[*types.Var]bool, _ func(token.Pos, string)) { delete(t, obj) }})
+		case aliasSource(pass, rhs) != nil:
+			src := aliasSource(pass, rhs)
+			out = append(out, event{as.Pos(), func(t map[*types.Var]bool, _ func(token.Pos, string)) {
+				if t[src] {
+					t[obj] = true
+				} else {
+					delete(t, obj)
+				}
+			}})
+		default:
+			out = append(out, event{as.Pos(), func(t map[*types.Var]bool, _ func(token.Pos, string)) { delete(t, obj) }})
+		}
+	}
+	return out
+}
+
+// isCleansingExpr matches f.ShallowClone()/Subset/Filter/Select and
+// frame.New-style constructors.
+func isCleansingExpr(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.ObjectOf(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return cleansers[fn.Name()] && isFramePtr(sig.Recv().Type())
+	}
+	return fn.Name() == "New" && isFrameConstructor(fn)
+}
+
+func isFrameConstructor(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return isFramePtr(sig.Results().At(0).Type())
+}
+
+// aliasSource returns the variable a bare identifier RHS refers to.
+func aliasSource(pass *analysis.Pass, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pass.TypesInfo.ObjectOf(id).(*types.Var)
+	return v
+}
+
+// mutationEvent matches x.AddContinuous(...) etc. with x a tracked var.
+func mutationEvent(pass *analysis.Pass, call *ast.CallExpr) (event, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !mutators[sel.Sel.Name] {
+		return event{}, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return event{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isFramePtr(sig.Recv().Type()) {
+		return event{}, false
+	}
+	recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return event{}, false
+	}
+	obj, ok := pass.TypesInfo.ObjectOf(recv).(*types.Var)
+	if !ok {
+		return event{}, false
+	}
+	return event{call.Pos(), func(t map[*types.Var]bool, report func(token.Pos, string)) {
+		if t[obj] {
+			report(call.Pos(), recv.Name)
+		}
+	}}, true
+}

@@ -1,0 +1,12 @@
+package frameclone_test
+
+import (
+	"testing"
+
+	"rainshine/internal/analysis/analysistest"
+	"rainshine/internal/analyzers/frameclone"
+)
+
+func TestFrameclone(t *testing.T) {
+	analysistest.Run(t, "testdata", frameclone.Analyzer, "a")
+}

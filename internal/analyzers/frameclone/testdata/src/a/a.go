@@ -1,0 +1,39 @@
+// Package a exercises the frameclone aliasing rules.
+package a
+
+import "frame"
+
+// Mutate attaches a column straight onto the shared parameter frame.
+func Mutate(f *frame.Frame) {
+	f.AddContinuous("x", nil) // want `attaching a column to f, which aliases a parameter frame`
+}
+
+// Cloned re-points the variable at a ShallowClone first (negative).
+func Cloned(f *frame.Frame) {
+	f = f.ShallowClone()
+	f.AddContinuous("x", nil)
+}
+
+// Alias propagates the taint through a plain alias.
+func Alias(f *frame.Frame) {
+	g := f
+	g.AddNominalInts("k", nil) // want `attaching a column to g, which aliases a parameter frame`
+}
+
+// Subsetted mutates a frame the cleanser handed back (negative).
+func Subsetted(f *frame.Frame) {
+	g := f.Subset(nil)
+	g.AddContinuous("x", nil)
+}
+
+// Fresh mutates a locally constructed frame (negative).
+func Fresh(f *frame.Frame) *frame.Frame {
+	g := frame.New()
+	g.AddContinuous("x", nil)
+	return g
+}
+
+// build is unexported: builders own their frames (negative).
+func build(f *frame.Frame) {
+	f.AddContinuous("x", nil)
+}

@@ -1,0 +1,44 @@
+// Package frame is the analysistest twin of rainshine/internal/frame:
+// just enough surface for the aliasing rules. The analyzer skips the
+// package defining Frame, so nothing here is flagged.
+package frame
+
+// Frame is a column-oriented table.
+type Frame struct {
+	cols  map[string][]float64
+	names []string
+}
+
+// New returns an empty frame the caller owns.
+func New() *Frame {
+	return &Frame{cols: map[string][]float64{}}
+}
+
+// ShallowClone copies the column directory; the caller may attach
+// columns without affecting the original.
+func (f *Frame) ShallowClone() *Frame {
+	g := New()
+	g.names = append(g.names, f.names...)
+	for k, v := range f.cols {
+		g.cols[k] = v
+	}
+	return g
+}
+
+// Subset returns a new frame holding the selected rows.
+func (f *Frame) Subset(rows []int) *Frame { return f.ShallowClone() }
+
+// AddContinuous attaches a float column in place.
+func (f *Frame) AddContinuous(name string, data []float64) {
+	f.cols[name] = data
+	f.names = append(f.names, name)
+}
+
+// AddNominalInts attaches a categorical column in place.
+func (f *Frame) AddNominalInts(name string, data []int) {
+	vals := make([]float64, len(data))
+	for i, v := range data {
+		vals[i] = float64(v)
+	}
+	f.AddContinuous(name, vals)
+}

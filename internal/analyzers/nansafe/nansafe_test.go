@@ -1,0 +1,12 @@
+package nansafe_test
+
+import (
+	"testing"
+
+	"rainshine/internal/analysis/analysistest"
+	"rainshine/internal/analyzers/nansafe"
+)
+
+func TestNansafe(t *testing.T) {
+	analysistest.Run(t, "testdata", nansafe.Analyzer, "a")
+}

@@ -1,0 +1,55 @@
+// Package a exercises the nansafe marshaling rules.
+package a
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Raw carries a float with no guard.
+type Raw struct {
+	Mean float64 `json:"mean"`
+}
+
+// Safe guards its float with a NaN-safe marshaler.
+type Safe struct {
+	Mean float64 `json:"mean"`
+}
+
+// MarshalJSON nils out non-finite values; marshaling raw floats inside
+// the marshaler itself is the sanctioned alias-embedding pattern.
+func (s Safe) MarshalJSON() ([]byte, error) {
+	type alias Safe
+	return json.Marshal(alias(s))
+}
+
+// Skipped hides its float from encoding/json entirely.
+type Skipped struct {
+	Mean float64 `json:"-"`
+	Name string  `json:"name"`
+}
+
+// EmitRaw marshals the unguarded type.
+func EmitRaw(r Raw) ([]byte, error) {
+	return json.Marshal(r) // want `whose field Mean is a raw float`
+}
+
+// EmitSafe marshals the guarded type (negative case).
+func EmitSafe(s Safe) ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// EmitSkipped marshals a type whose float is json-excluded (negative).
+func EmitSkipped(s Skipped) ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// EmitSlice reaches the raw float through a composite.
+func EmitSlice(rs []Raw) ([]byte, error) {
+	return json.Marshal(rs) // want `whose field \[\]Mean is a raw float`
+}
+
+// Stream hits the Encoder path.
+func Stream(w io.Writer, r Raw) error {
+	return json.NewEncoder(w).Encode(r) // want `whose field Mean is a raw float`
+}

@@ -1,0 +1,12 @@
+package parsafe_test
+
+import (
+	"testing"
+
+	"rainshine/internal/analysis/analysistest"
+	"rainshine/internal/analyzers/parsafe"
+)
+
+func TestParsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", parsafe.Analyzer, "a")
+}

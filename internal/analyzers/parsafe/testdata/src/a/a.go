@@ -1,0 +1,81 @@
+// Package a exercises the parsafe worker-slot exclusivity rules.
+package a
+
+import (
+	"context"
+
+	"parallel"
+)
+
+// Accumulate writes a captured scalar from every task.
+func Accumulate(ctx context.Context, xs []float64) float64 {
+	total := 0.0
+	_ = parallel.ForEach(ctx, 0, len(xs), func(i int) error {
+		total += xs[i] // want `closure writes captured variable total`
+		return nil
+	})
+	return total
+}
+
+// Slots writes only index-addressed cells (negative case).
+func Slots(ctx context.Context, xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	_ = parallel.ForEach(ctx, 0, len(xs), func(i int) error {
+		out[i] = xs[i] * 2
+		return nil
+	})
+	return out
+}
+
+// CountUp writes a captured map cell per task.
+func CountUp(ctx context.Context, n int) map[int]int {
+	counts := map[int]int{}
+	_ = parallel.ForEach(ctx, 0, n, func(i int) error {
+		counts[i] = i // want `closure writes captured map counts`
+		return nil
+	})
+	return counts
+}
+
+// Field writes a captured struct field with no slot index.
+func Field(ctx context.Context, n int) int {
+	var res struct{ hits int }
+	_ = parallel.ForEach(ctx, 0, n, func(i int) error {
+		res.hits = i // want `writes captured res without indexing by a task-local value`
+		return nil
+	})
+	return res.hits
+}
+
+// Pinned writes one fixed cell of a captured slice from every task.
+func Pinned(ctx context.Context, n int) []int {
+	out := make([]int, 1)
+	_ = parallel.ForEach(ctx, 0, n, func(i int) error {
+		out[0] = i // want `writes captured out without indexing by a task-local value`
+		return nil
+	})
+	return out
+}
+
+// WorkerScratch accumulates into per-worker slots (negative case).
+func WorkerScratch(ctx context.Context, xs []float64) float64 {
+	scratch := make([]float64, 4)
+	_ = parallel.ForEachWorker(ctx, 4, len(xs), func(w, i int) error {
+		scratch[w] += xs[i]
+		return nil
+	})
+	total := 0.0
+	for _, v := range scratch {
+		total += v
+	}
+	return total
+}
+
+// Doubled keeps every write closure-local under Map (negative case).
+func Doubled(ctx context.Context, xs []float64) []float64 {
+	out, _ := parallel.Map(ctx, 0, len(xs), func(i int) (float64, error) {
+		v := xs[i] * 2
+		return v, nil
+	})
+	return out
+}

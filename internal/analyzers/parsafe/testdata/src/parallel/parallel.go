@@ -1,0 +1,38 @@
+// Package parallel is the analysistest twin of
+// rainshine/internal/parallel: same entry points, serial execution.
+package parallel
+
+import "context"
+
+// ForEach runs fn for every index.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEachWorker runs fn with a worker slot and an index.
+func ForEachWorker(ctx context.Context, workers, n int, fn func(w, i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(0, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map collects fn's results in index order.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		v, err := fn(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

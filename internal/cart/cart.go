@@ -146,7 +146,9 @@ type Tree struct {
 	leaves        []*Node
 }
 
-// Fit grows a tree predicting target from the named feature columns of f.
+// Fit grows a tree predicting target from the named feature columns of
+// f. It is FitContext with context.Background(); use that variant to
+// make a long fit cancellable.
 func Fit(f *frame.Frame, target string, features []string, cfg Config) (*Tree, error) {
 	return FitContext(context.Background(), f, target, features, cfg)
 }
@@ -245,12 +247,12 @@ type builder struct {
 
 	// Reused builder-lifetime buffers (the tree grows serially; only the
 	// per-node feature search fans out, through per-worker scratch).
-	side       []bool  // row → routed to the left child
-	idxTmp     []int   // partition scratch for idx
-	sortTmps   [][]int32 // per worker: partition scratch for sorted lists
-	featSplit  []split
-	featOK     []bool
-	scratch    []*scratch
+	side      []bool    // row → routed to the left child
+	idxTmp    []int     // partition scratch for idx
+	sortTmps  [][]int32 // per worker: partition scratch for sorted lists
+	featSplit []split
+	featOK    []bool
+	scratch   []*scratch
 }
 
 // scratch holds one worker's reusable split-search buffers, sized to the
@@ -929,7 +931,8 @@ func (t *Tree) PredictProba(x []float64) ([]float64, error) {
 }
 
 // ProbaFrame returns, for every row of f, the probability of the class
-// with the given index (classification trees only).
+// with the given index (classification trees only). It is
+// ProbaFrameContext with context.Background() and a single worker.
 func (t *Tree) ProbaFrame(f *frame.Frame, class int) ([]float64, error) {
 	return t.ProbaFrameContext(context.Background(), f, class, 1)
 }
@@ -965,7 +968,8 @@ func (t *Tree) ProbaFrameContext(ctx context.Context, f *frame.Frame, class, wor
 }
 
 // PredictFrame predicts every row of f, which must contain the tree's
-// feature columns.
+// feature columns. It is PredictFrameContext with context.Background()
+// and a single worker.
 func (t *Tree) PredictFrame(f *frame.Frame) ([]float64, error) {
 	return t.PredictFrameContext(context.Background(), f, 1)
 }

@@ -30,7 +30,9 @@ type CPRow struct {
 // complexity that generalizes. cfg.CP is ignored; each candidate is
 // applied by pruning. Deterministic given the seed, for every value of
 // cfg.Workers: folds write only their own slots of the error matrix,
-// which is reduced in candidate order afterwards.
+// which is reduced in candidate order afterwards. It is
+// CrossValidateContext with context.Background(); use that variant to
+// make the fold fan-out cancellable.
 func CrossValidate(f *frame.Frame, target string, features []string, cfg Config, candidates []float64, folds int, seed uint64) ([]CPRow, error) {
 	return CrossValidateContext(context.Background(), f, target, features, cfg, candidates, folds, seed)
 }
@@ -94,6 +96,9 @@ func CrossValidateContext(ctx context.Context, f *frame.Frame, target string, fe
 	err = parallel.ForEach(ctx, cfg.Workers, folds+1, func(k int) error {
 		if k == folds {
 			var ferr error
+			// Exactly one task (k == folds) writes full, so the write
+			// is exclusive even though it is not a per-index slot.
+			//lint:allow parsafe only the dedicated k==folds task writes full
 			full, ferr = FitContext(ctx, f, target, features, growCfg)
 			return ferr
 		}
@@ -120,7 +125,7 @@ func CrossValidateContext(ctx context.Context, f *frame.Frame, target string, fe
 		// more nodes, so successive Prune calls reuse the same tree.
 		for i := range candidates {
 			tree.Prune(candidates[i])
-			preds, err := tree.PredictFrame(test)
+			preds, err := tree.PredictFrameContext(ctx, test, 1)
 			if err != nil {
 				return err
 			}

@@ -109,6 +109,9 @@ var BaselineFeatures = []string{"dc", "region", "sku", "workload", "power_kw", "
 // split points. Stage 1 removes the spatial/hardware/seasonal variance
 // that would otherwise let a noisy interior split masquerade as the
 // environmental threshold.
+//
+// Analyze is AnalyzeContext with context.Background(); use that
+// variant for cancellable analysis.
 func Analyze(f *frame.Frame, cfg cart.Config) (*Result, error) {
 	return AnalyzeContext(context.Background(), f, cfg)
 }
@@ -163,28 +166,22 @@ func AnalyzeContext(ctx context.Context, f *frame.Frame, cfg cart.Config) (*Resu
 	}
 
 	// The inspection tree and the stage-1 baseline are independent fits
-	// over the same frame: run them concurrently. The MF fit is task 0,
-	// so its error keeps priority, matching the old serial order.
-	var tree, baseline *cart.Tree
-	err = parallel.ForEach(ctx, cfg.Workers, 2, func(i int) error {
-		if i == 0 {
-			t, err := cart.FitContext(ctx, f, "disk_failures", mfFeats, cfg)
-			if err != nil {
-				return fmt.Errorf("envan: fitting tree: %w", err)
-			}
-			tree = t
-			return nil
-		}
-		b, err := cart.FitContext(ctx, f, "disk_failures", baseFeats, cfg)
+	// over the same frame: run them concurrently through index-ordered
+	// slots. The MF fit is task 0, so its error keeps priority,
+	// matching the old serial order.
+	fitFeats := [2][]string{mfFeats, baseFeats}
+	fitLabel := [2]string{"tree", "baseline tree"}
+	fits, err := parallel.Map(ctx, cfg.Workers, 2, func(i int) (*cart.Tree, error) {
+		t, err := cart.FitContext(ctx, f, "disk_failures", fitFeats[i], cfg)
 		if err != nil {
-			return fmt.Errorf("envan: fitting baseline tree: %w", err)
+			return nil, fmt.Errorf("envan: fitting %s: %w", fitLabel[i], err)
 		}
-		baseline = b
-		return nil
+		return t, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	tree, baseline := fits[0], fits[1]
 	pred, err := baseline.PredictFrameContext(ctx, f, cfg.Workers)
 	if err != nil {
 		return nil, err

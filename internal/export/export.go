@@ -73,6 +73,9 @@ func EventsJSONL(w io.Writer, events []simulate.Event) error {
 			RepairHours: ev.RepairHours,
 			Shock:       ev.Shock,
 		}
+		// Event hours come from the simulator's bounded day fractions
+		// and repair-time draws; they are finite by construction.
+		//lint:allow nansafe simulator event hours are finite by construction
 		if err := enc.Encode(rec); err != nil {
 			return fmt.Errorf("export: encoding event %d: %w", i, err)
 		}

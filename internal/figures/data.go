@@ -58,7 +58,8 @@ type Data struct {
 // (cfg.Faults set) the recorded streams pass through the ingest
 // quarantine/repair pipeline before any analysis sees them; the clean
 // path skips scrubbing entirely so results stay bit-identical to the
-// seed runs.
+// seed runs. NewData is NewDataContext with context.Background(); use
+// that variant to make the simulation cancellable.
 func NewData(cfg simulate.Config) (*Data, error) {
 	return NewDataContext(context.Background(), cfg)
 }

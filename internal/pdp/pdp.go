@@ -44,7 +44,8 @@ type Point struct {
 // Compute evaluates the partial dependence of tree's response on the
 // named feature over frame f. For a continuous feature the curve is
 // evaluated at up to gridSize quantile-spaced points; for categorical
-// features at every level.
+// features at every level. Compute is ComputeContext with
+// context.Background() and a single worker.
 func Compute(tree *cart.Tree, f *frame.Frame, feature string, gridSize int) ([]Point, error) {
 	return ComputeContext(context.Background(), tree, f, feature, gridSize, 1)
 }
@@ -209,14 +210,23 @@ func Standardize(f *frame.Frame, metric, of string, covariates []string) ([]Leve
 	}
 
 	nLevels := len(oc.Levels)
-	// Accumulate stratum-weighted means and per-stratum level means.
+	// Accumulate stratum-weighted means and per-stratum level means,
+	// visiting strata in sorted key order: the weighted sums below are
+	// float accumulations, so map iteration order would leak into the
+	// low bits of every standardized effect.
+	keys := make([]string, 0, len(strata))
+	for k := range strata {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	wSum := make([]float64, nLevels)
 	wTot := make([]float64, nLevels)
 	perStratumMeans := make([][]float64, nLevels)
 	perStratumPeaks := make([][]float64, nLevels)
 	nobs := make([]int, nLevels)
 	strataCount := make([]int, nLevels)
-	for _, s := range strata {
+	for _, k := range keys {
+		s := strata[k]
 		if len(s.values) < 2 {
 			// Stratum observes only one level: it cannot inform a
 			// within-stratum contrast, so it is dropped (the paper's
@@ -225,7 +235,11 @@ func Standardize(f *frame.Frame, metric, of string, covariates []string) ([]Leve
 			continue
 		}
 		w := float64(s.n)
-		for lvl, vals := range s.values {
+		for lvl := 0; lvl < nLevels; lvl++ {
+			vals := s.values[lvl]
+			if len(vals) == 0 {
+				continue
+			}
 			m := stats.Mean(vals)
 			wSum[lvl] += w * m
 			wTot[lvl] += w
@@ -338,8 +352,17 @@ func PairedContrast(f *frame.Frame, metric, of, levelA, levelB string, covariate
 			s.nB++
 		}
 	}
+	// Emit the per-stratum differences in sorted key order: the paired
+	// tests downstream sum them, and float addition order would
+	// otherwise vary with map iteration.
+	keys := make([]string, 0, len(strata))
+	for k := range strata {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var diffs []float64
-	for _, s := range strata {
+	for _, k := range keys {
+		s := strata[k]
 		if s.nA == 0 || s.nB == 0 {
 			continue
 		}
@@ -374,6 +397,9 @@ func BinContinuous(f *frame.Frame, name string, edges []float64) (string, error)
 		codes[r] = binIndex(edges, v)
 	}
 	binName := name + "_bin"
+	// In-place attachment is this helper's documented contract; callers
+	// that hold a shared frame ShallowClone before calling (see skucmp).
+	//lint:allow frameclone BinContinuous is the documented in-place binning mutator
 	if err := f.AddNominalInts(binName, codes, labels); err != nil {
 		return "", err
 	}

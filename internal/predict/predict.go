@@ -103,7 +103,8 @@ type Result struct {
 
 // Train fits and evaluates a failure predictor on a rack-day frame (from
 // metrics.RackDayFrame). The frame must contain "day" and "failures"
-// columns plus the configured features.
+// columns plus the configured features. Train is TrainContext with
+// context.Background(); use that variant for cancellable training.
 func Train(f *frame.Frame, cfg Config) (*Result, error) {
 	return TrainContext(context.Background(), f, cfg)
 }

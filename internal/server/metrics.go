@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -147,7 +148,15 @@ func (m *Metrics) Snapshot(cacheCapacity int) Snapshot {
 	}
 	s.Cache.Capacity = cacheCapacity
 	s.Builds.InFlight = m.builds.Started - m.builds.Completed - m.builds.Canceled - m.builds.Failed
-	for path, e := range m.endpoints {
+	// Endpoint rows are assembled in sorted path order so the snapshot
+	// (and therefore /metricz) is byte-identical across repeated calls.
+	paths := make([]string, 0, len(m.endpoints))
+	for path := range m.endpoints {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		e := m.endpoints[path]
 		es := EndpointSnapshot{Count: e.count, Errors: e.errors}
 		if len(e.lat) > 0 {
 			q := func(p float64) float64 {

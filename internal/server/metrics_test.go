@@ -1,0 +1,84 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decoderAt returns a reader over s positioned at the final byte of
+// marker (the opening brace of the object to decode).
+func decoderAt(s, marker string) io.Reader {
+	i := strings.Index(s, marker)
+	if i < 0 {
+		return strings.NewReader("")
+	}
+	return strings.NewReader(s[i+len(marker)-1:])
+}
+
+// TestSnapshotStableOrdering asserts the /metricz body is byte-stable:
+// repeated snapshots of the same counters serialize identically, with
+// endpoint paths in sorted order.
+func TestSnapshotStableOrdering(t *testing.T) {
+	m := NewMetrics()
+	paths := []string{"/v1/q3", "/healthz", "/v1/q1", "/metricz", "/v1/predict", "/v1/q2"}
+	for i, p := range paths {
+		m.Observe(p, time.Duration(i+1)*time.Millisecond, i%2 == 0)
+	}
+
+	marshal := func() string {
+		s := m.Snapshot(4)
+		s.UptimeSeconds = 0 // wall-clock: the only field allowed to differ
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return string(b)
+	}
+	first := marshal()
+	for i := 0; i < 20; i++ {
+		if got := marshal(); got != first {
+			t.Fatalf("snapshot %d differs:\n%s\nwant\n%s", i, got, first)
+		}
+	}
+
+	// The emitted request rows must cover every path, in sorted order.
+	var body struct {
+		Requests map[string]EndpointSnapshot `json:"requests"`
+	}
+	if err := json.Unmarshal([]byte(first), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Requests) != len(paths) {
+		t.Fatalf("requests has %d rows, want %d", len(body.Requests), len(paths))
+	}
+	want := append([]string(nil), paths...)
+	sort.Strings(want)
+	var order []string
+	dec := json.NewDecoder(decoderAt(first, `"requests":{`))
+	if _, err := dec.Token(); err != nil { // consume '{'
+		t.Fatal(err)
+	}
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			t.Fatal(err)
+		}
+		order = append(order, tok.(string))
+		var es EndpointSnapshot
+		if err := dec.Decode(&es); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(order) != len(want) {
+		t.Fatalf("emitted %d paths %v, want %d", len(order), order, len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("emitted path order %v, want sorted %v", order, want)
+		}
+	}
+}

@@ -143,6 +143,10 @@ func (r *registry) Study(ctx context.Context, cfg StudyConfig) (*rainshine.Study
 	if joined {
 		bc.waiters++
 	} else {
+		// The build is singleflight-shared: it must outlive the first
+		// requester's deadline, so it detaches from the request ctx and
+		// is canceled only when every waiter abandons it (see run).
+		//lint:allow ctxflow detached singleflight build outlives any one request
 		bctx, cancel := context.WithCancel(context.Background())
 		bc = &buildCall{done: make(chan struct{}), cancel: cancel, waiters: 1}
 		r.inflight[key] = bc

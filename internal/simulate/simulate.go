@@ -130,7 +130,8 @@ func repairDist(c failure.Component, shock bool) dist.LogNormal {
 
 const maxRepairHours = 14 * 24
 
-// Run executes a full simulation.
+// Run executes a full simulation. It is RunContext with
+// context.Background(); use that variant to make the run cancellable.
 func Run(cfg Config) (*Result, error) {
 	return RunContext(context.Background(), cfg)
 }

@@ -180,7 +180,9 @@ type Study struct {
 	data *figures.Data
 }
 
-// NewStudy simulates the fleet and returns a Study.
+// NewStudy simulates the fleet and returns a Study. It is
+// NewStudyContext with context.Background(); use that variant to make
+// the simulation cancellable.
 func NewStudy(opts ...Option) (*Study, error) {
 	return NewStudyContext(context.Background(), opts...)
 }
@@ -590,7 +592,9 @@ type ClimateReport struct {
 	MissingFeatures []string `json:"missing_features,omitempty"`
 }
 
-// ClimateGuidance runs Q3 over the study's rack-day data.
+// ClimateGuidance runs Q3 over the study's rack-day data. It is
+// ClimateGuidanceContext with context.Background(); use that variant
+// for cancellable analysis.
 func (s *Study) ClimateGuidance() (*ClimateReport, error) {
 	return s.ClimateGuidanceContext(context.Background())
 }
