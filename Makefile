@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench serve-load repro outputs examples fuzz clean
+.PHONY: all build vet lint test race bench serve-load soak repro outputs examples fuzz clean
 
 all: build vet lint test
 
@@ -38,10 +38,19 @@ bench:
 
 # Concurrent load test against the serve daemon (32 parallel clients,
 # mixed endpoints, 3 distinct configs) under the race detector; records
-# the throughput summary to BENCH_serve.json.
+# the throughput summary to BENCH_serve.json's "load" section.
 serve-load:
 	RAINSHINE_BENCH_OUT=$(CURDIR)/BENCH_serve.json \
 		$(GO) test -race -count=1 -run TestServeLoad -v ./internal/server/
+
+# Deterministic chaos soak: byte-stable degraded responses for a fixed
+# seed, then hundreds of concurrent clients against deliberately tight
+# admission limits with every chaos class on, under the race detector.
+# Fails on latency-SLO or availability regressions; records the run to
+# BENCH_serve.json's "soak" section.
+soak:
+	RAINSHINE_BENCH_OUT=$(CURDIR)/BENCH_serve.json \
+		$(GO) test -race -count=1 -timeout 10m -run 'TestChaosSoak' -v ./internal/server/
 
 # Regenerate every paper table and figure at full scale (seed 42).
 repro:

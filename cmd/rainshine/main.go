@@ -20,9 +20,13 @@
 //	ablate             MF design-choice ablations (feature subsets, cluster budget, cp)
 //	climate-csv <file> run the Q3 analysis on an external rack-day CSV ("-" = stdin)
 //	serve              run the analysis daemon: Q1-Q3/predict/quality as a JSON
-//	                   HTTP API with a cached study registry (own flags:
-//	                   -addr, -cache-size, -timeout, -workers, -warmup;
-//	                   see README)
+//	                   HTTP API with a cached study registry, admission
+//	                   control, and graceful degradation (own flags:
+//	                   -addr, -cache, -timeout, -workers, -warmup,
+//	                   -build-timeout, -max-concurrent, -max-queue,
+//	                   -q3-concurrent, -q3-queue, -rps, -burst,
+//	                   -breaker-threshold, -breaker-cooldown,
+//	                   -chaos, -chaos-seed; see README)
 //	pooling            shared-vs-dedicated spare pool comparison
 //	opex               replace-vs-service repair policy comparison
 //	tree               print the Q3 multi-factor CART model

@@ -169,27 +169,82 @@ func TestParseServeFlags(t *testing.T) {
 	if cfg.addr != ":8080" || cfg.cache != 4 || cfg.timeout != 5*time.Minute {
 		t.Errorf("defaults = %+v", cfg)
 	}
-	cfg, err = parseServeFlags([]string{"-addr", "127.0.0.1:9090", "-cache-size", "2", "-timeout", "30s"})
+	if cfg.buildTimeout != 10*time.Minute || cfg.maxConcurrent != 256 || cfg.maxQueue != 512 ||
+		cfg.q3Concurrent != 32 || cfg.q3Queue != 64 || cfg.rps != 0 ||
+		cfg.breakerThreshold != 5 || cfg.breakerCooldown != 30*time.Second || cfg.chaos {
+		t.Errorf("resilience defaults = %+v", cfg)
+	}
+	cfg, err = parseServeFlags([]string{"-addr", "127.0.0.1:9090", "-cache", "2", "-timeout", "30s"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.addr != "127.0.0.1:9090" || cfg.cache != 2 || cfg.timeout != 30*time.Second {
 		t.Errorf("parsed = %+v", cfg)
 	}
+	// -cache-size is the backward-compatible alias for -cache.
+	if cfg, err = parseServeFlags([]string{"-cache-size", "3"}); err != nil || cfg.cache != 3 {
+		t.Errorf("-cache-size alias: cfg=%+v err=%v", cfg, err)
+	}
+	cfg, err = parseServeFlags([]string{
+		"-build-timeout", "2m", "-max-concurrent", "64", "-max-queue", "0",
+		"-q3-concurrent", "4", "-q3-queue", "8", "-rps", "100", "-burst", "50",
+		"-breaker-threshold", "0", "-breaker-cooldown", "5s",
+		"-chaos", "-chaos-seed", "7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.buildTimeout != 2*time.Minute || cfg.maxConcurrent != 64 || cfg.maxQueue != 0 ||
+		cfg.q3Concurrent != 4 || cfg.q3Queue != 8 || cfg.rps != 100 || cfg.burst != 50 ||
+		cfg.breakerThreshold != 0 || cfg.breakerCooldown != 5*time.Second ||
+		!cfg.chaos || cfg.chaosSeed != 7 {
+		t.Errorf("resilience flags = %+v", cfg)
+	}
+	// "0" flag spellings translate to the server's explicit-disable
+	// spelling (negative), never to "use the default".
+	sc := cfg.serverConfig()
+	if sc.Resilience.MaxQueue != -1 || sc.Resilience.BreakerThreshold != -1 {
+		t.Errorf("serverConfig zero translation = %+v", sc.Resilience)
+	}
+	if sc.Chaos == nil || sc.Chaos.Seed != 7 || !sc.Chaos.Enabled() {
+		t.Errorf("serverConfig chaos = %+v", sc.Chaos)
+	}
+	if sc := mustParseServe(t, nil).serverConfig(); sc.Chaos != nil {
+		t.Errorf("chaos config without -chaos: %+v", sc.Chaos)
+	}
 	bad := [][]string{
-		{"-cache-size", "0"},
+		{"-cache", "0"},
 		{"-cache-size", "-3"},
 		{"-timeout", "0s"},
 		{"-timeout", "-1m"},
 		{"-addr", ""},
 		{"-bogus"},
 		{"surplus", "args"},
+		{"-build-timeout", "0s"},
+		{"-max-concurrent", "0"},
+		{"-q3-concurrent", "-1"},
+		{"-max-queue", "-1"},
+		{"-q3-queue", "-2"},
+		{"-rps", "-5"},
+		{"-burst", "-1"},
+		{"-burst", "10"},     // burst without rps
+		{"-chaos-seed", "9"}, // chaos-seed without chaos
+		{"-breaker-cooldown", "0s"},
 	}
 	for _, args := range bad {
 		if _, err := parseServeFlags(args); err == nil {
 			t.Errorf("parseServeFlags(%v) should error", args)
 		}
 	}
+}
+
+func mustParseServe(t *testing.T, args []string) serveConfig {
+	t.Helper()
+	cfg, err := parseServeFlags(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
 }
 
 func TestRunDispatchesServeFlagErrors(t *testing.T) {

@@ -1,0 +1,123 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestChaosBuildFaultDeterministic(t *testing.T) {
+	cfg := ChaosConfig{Seed: 7, BuildFailRate: 0.5}
+	a, b := NewChaos(cfg), NewChaos(cfg)
+	var failed, passed int
+	for attempt := 1; attempt <= 200; attempt++ {
+		ea := a.BuildFault("seed=1", attempt)
+		eb := b.BuildFault("seed=1", attempt)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("attempt %d: instances disagree (%v vs %v)", attempt, ea, eb)
+		}
+		if ea != nil {
+			if !errors.Is(ea, ErrInjectedBuild) {
+				t.Fatalf("attempt %d: err = %v, want ErrInjectedBuild", attempt, ea)
+			}
+			failed++
+		} else {
+			passed++
+		}
+	}
+	// Rate 0.5 over 200 attempts: both outcomes must occur.
+	if failed == 0 || passed == 0 {
+		t.Errorf("failed/passed = %d/%d, want both nonzero", failed, passed)
+	}
+	// Distinct keys draw from distinct streams: at least one attempt
+	// index must decide differently across 200 draws at rate 0.5.
+	same := 0
+	for attempt := 1; attempt <= 200; attempt++ {
+		if (a.BuildFault("seed=1", attempt) == nil) == (a.BuildFault("seed=2", attempt) == nil) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Error("keys seed=1 and seed=2 share every build-fault decision")
+	}
+}
+
+func TestChaosBuildFailAfter(t *testing.T) {
+	c := NewChaos(ChaosConfig{Seed: 1, BuildFailAfter: 2})
+	for attempt := 1; attempt <= 2; attempt++ {
+		if err := c.BuildFault("k", attempt); err != nil {
+			t.Fatalf("attempt %d should succeed: %v", attempt, err)
+		}
+	}
+	for attempt := 3; attempt <= 5; attempt++ {
+		if err := c.BuildFault("k", attempt); !errors.Is(err, ErrInjectedBuild) {
+			t.Fatalf("attempt %d should fail, got %v", attempt, err)
+		}
+	}
+}
+
+func TestChaosLatencyBoundedAndDeterministic(t *testing.T) {
+	cfg := ChaosConfig{Seed: 9, LatencyRate: 0.3, LatencySpike: 50 * time.Millisecond}
+	a, b := NewChaos(cfg), NewChaos(cfg)
+	var spikes int
+	for seq := uint64(0); seq < 500; seq++ {
+		da, db := a.Latency(seq), b.Latency(seq)
+		if da != db {
+			t.Fatalf("seq %d: %s vs %s", seq, da, db)
+		}
+		if da < 0 || da > cfg.LatencySpike {
+			t.Fatalf("seq %d: spike %s outside (0, %s]", seq, da, cfg.LatencySpike)
+		}
+		if da > 0 {
+			spikes++
+		}
+	}
+	if spikes == 0 || spikes == 500 {
+		t.Errorf("spikes = %d/500 at rate 0.3, want a strict subset", spikes)
+	}
+}
+
+func TestChaosSlowClientDeterministic(t *testing.T) {
+	cfg := ChaosConfig{Seed: 3, SlowClientRate: 0.2, SlowChunk: 128, SlowDelay: time.Millisecond}
+	a, b := NewChaos(cfg), NewChaos(cfg)
+	var slow int
+	for seq := uint64(0); seq < 500; seq++ {
+		ca, da, oa := a.SlowClient(seq)
+		cb, db, ob := b.SlowClient(seq)
+		if oa != ob || ca != cb || da != db {
+			t.Fatalf("seq %d: instances disagree", seq)
+		}
+		if oa {
+			if ca != 128 || da != time.Millisecond {
+				t.Fatalf("seq %d: chunk/delay = %d/%s", seq, ca, da)
+			}
+			slow++
+		}
+	}
+	if slow == 0 || slow == 500 {
+		t.Errorf("slow = %d/500 at rate 0.2, want a strict subset", slow)
+	}
+}
+
+func TestChaosDisabledClasses(t *testing.T) {
+	c := NewChaos(ChaosConfig{Seed: 4})
+	if err := c.BuildFault("k", 100); err != nil {
+		t.Errorf("BuildFault with all rates zero: %v", err)
+	}
+	if d := c.Latency(5); d != 0 {
+		t.Errorf("Latency with rate zero = %s", d)
+	}
+	if _, _, ok := c.SlowClient(5); ok {
+		t.Error("SlowClient with rate zero selected a request")
+	}
+	var nilChaos *Chaos
+	if nilChaos.BuildFault("k", 1) != nil || nilChaos.Latency(1) != 0 {
+		t.Error("nil Chaos should be inert")
+	}
+	if (ChaosConfig{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if !DefaultChaos(42).Enabled() {
+		t.Error("default chaos reports disabled")
+	}
+}

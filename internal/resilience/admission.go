@@ -1,0 +1,84 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Limiter is a concurrency-limited admission controller: at most
+// maxConcurrent requests hold a slot at once, at most maxQueue more
+// wait for one, and everything beyond that is shed immediately with a
+// typed ShedError. The bounded queue is the load-shedding half of the
+// design — once it fills, admitting more waiters would only build an
+// unbounded backlog whose members all miss their deadlines together.
+//
+// All methods are safe for concurrent use.
+type Limiter struct {
+	slots chan struct{}
+	retry time.Duration
+
+	mu       sync.Mutex
+	waiting  int
+	maxQueue int
+}
+
+// NewLimiter sizes the controller. maxConcurrent < 1 is coerced to 1;
+// maxQueue < 0 is coerced to 0 (shed as soon as the slots are full).
+// retry seeds the advisory Retry-After carried by sheds.
+func NewLimiter(maxConcurrent, maxQueue int, retry time.Duration) *Limiter {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{
+		slots:    make(chan struct{}, maxConcurrent),
+		retry:    retryAfter(retry),
+		maxQueue: maxQueue,
+	}
+}
+
+// Acquire claims a slot, queueing (bounded) if none is free. It returns
+// nil when the caller holds a slot and must later Release it, a
+// ShedError when the queue is full, or ctx.Err() if the caller's
+// deadline expires while queued.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	l.mu.Lock()
+	if l.waiting >= l.maxQueue {
+		l.mu.Unlock()
+		return &ShedError{Reason: QueueFull, RetryAfter: l.retry}
+	}
+	l.waiting++
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		l.waiting--
+		l.mu.Unlock()
+	}()
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by a successful Acquire.
+func (l *Limiter) Release() { <-l.slots }
+
+// InUse reports the slots currently held.
+func (l *Limiter) InUse() int { return len(l.slots) }
+
+// Waiting reports the requests currently queued for a slot.
+func (l *Limiter) Waiting() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.waiting
+}

@@ -1,0 +1,106 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLimiterAdmitsUpToConcurrency(t *testing.T) {
+	l := NewLimiter(3, 0, time.Second)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := l.Acquire(ctx); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if got := l.InUse(); got != 3 {
+		t.Errorf("InUse = %d, want 3", got)
+	}
+	// Slots full, queue zero: the next acquire sheds immediately.
+	err := l.Acquire(ctx)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != QueueFull {
+		t.Fatalf("acquire over capacity = %v, want queue_full ShedError", err)
+	}
+	if shed.RetryAfter < time.Second {
+		t.Errorf("RetryAfter = %s, want >= 1s", shed.RetryAfter)
+	}
+	l.Release()
+	if err := l.Acquire(ctx); err != nil {
+		t.Errorf("acquire after release: %v", err)
+	}
+}
+
+func TestLimiterBoundedQueue(t *testing.T) {
+	l := NewLimiter(1, 2, time.Second)
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the queue with two waiters, then assert the third sheds.
+	var acquired atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Acquire(ctx); err == nil {
+				acquired.Add(1)
+				l.Release()
+			}
+		}()
+	}
+	waitFor(t, func() bool { return l.Waiting() == 2 })
+	err := l.Acquire(ctx)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != QueueFull {
+		t.Fatalf("acquire with full queue = %v, want queue_full", err)
+	}
+	// Releasing the slot drains the queue: both waiters eventually run.
+	l.Release()
+	wg.Wait()
+	if got := acquired.Load(); got != 2 {
+		t.Errorf("queued acquires = %d, want 2", got)
+	}
+}
+
+func TestLimiterQueuedAcquireHonorsContext(t *testing.T) {
+	l := NewLimiter(1, 4, time.Second)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := l.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire = %v, want deadline exceeded", err)
+	}
+	if got := l.Waiting(); got != 0 {
+		t.Errorf("Waiting after abandoned queue wait = %d, want 0", got)
+	}
+}
+
+func TestLimiterCoercesDegenerateSizes(t *testing.T) {
+	l := NewLimiter(0, -5, 0)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire on coerced limiter: %v", err)
+	}
+	if err := l.Acquire(context.Background()); err == nil {
+		t.Fatal("second acquire should shed (capacity coerced to 1, queue to 0)")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

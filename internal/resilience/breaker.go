@@ -1,0 +1,161 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's current disposition.
+type BreakerState int
+
+const (
+	// Closed admits every attempt (the healthy state).
+	Closed BreakerState = iota
+	// Open sheds every attempt until the cooldown elapses.
+	Open
+	// HalfOpen admits a single probe attempt; its outcome decides
+	// whether the breaker closes again or reopens.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// Breaker is a consecutive-failure circuit breaker. It trips to Open
+// after threshold consecutive recorded failures, sheds every attempt
+// for the cooldown, then admits one half-open probe whose outcome
+// closes or reopens the circuit. A nil *Breaker admits everything and
+// records nothing — the disabled spelling.
+//
+// Callers pair every admitted Allow with exactly one RecordSuccess,
+// RecordFailure, or RecordCanceled. All methods are safe for
+// concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+	opens    int64
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive
+// failures and staying open for cooldown. threshold < 1 returns nil:
+// disabled. now is the injected clock; nil means time.Now.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold < 1 {
+		return nil
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a protected attempt may proceed. Open circuits
+// shed with a ShedError whose RetryAfter is the configured cooldown
+// (static, so shed bodies are byte-stable); once the cooldown has
+// elapsed a single probe is admitted.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = HalfOpen
+			b.probing = true
+			return nil
+		}
+	case HalfOpen:
+		if !b.probing {
+			b.probing = true
+			return nil
+		}
+	}
+	return &ShedError{Reason: BreakerOpen, RetryAfter: retryAfter(b.cooldown)}
+}
+
+// RecordSuccess closes the circuit and clears the failure streak.
+func (b *Breaker) RecordSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.failures = 0
+	b.state = Closed
+}
+
+// RecordFailure extends the failure streak, tripping to Open at the
+// threshold. A failed half-open probe reopens immediately.
+func (b *Breaker) RecordFailure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.failures++
+	if b.state == HalfOpen || (b.state == Closed && b.failures >= b.threshold) {
+		b.state = Open
+		b.openedAt = b.now()
+		b.opens++
+		b.failures = 0
+	}
+}
+
+// RecordCanceled releases an attempt admitted by Allow without judging
+// it: the attempt was abandoned (context canceled), not completed, so
+// it must neither extend nor clear the failure streak — but a dangling
+// half-open probe must be released or the breaker would never retry.
+func (b *Breaker) RecordCanceled() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// State reports the current disposition (advancing Open to HalfOpen is
+// left to Allow; State is a pure read).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens reports how many times the circuit has tripped.
+func (b *Breaker) Opens() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

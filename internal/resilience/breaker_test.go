@@ -1,0 +1,137 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(3, 10*time.Second, clk.now)
+
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("allow %d while closed: %v", i, err)
+		}
+		b.RecordFailure()
+		if got := b.State(); got != Closed {
+			t.Fatalf("state after %d failures = %s, want closed", i+1, got)
+		}
+	}
+	b.Allow()
+	b.RecordFailure() // third consecutive failure trips
+	if got := b.State(); got != Open {
+		t.Fatalf("state = %s, want open", got)
+	}
+	if got := b.Opens(); got != 1 {
+		t.Errorf("opens = %d, want 1", got)
+	}
+
+	err := b.Allow()
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != BreakerOpen {
+		t.Fatalf("allow while open = %v, want breaker_open", err)
+	}
+	if shed.RetryAfter != 10*time.Second {
+		t.Errorf("RetryAfter = %s, want the 10s cooldown", shed.RetryAfter)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(2, time.Second, newFakeClock().now)
+	b.Allow()
+	b.RecordFailure()
+	b.Allow()
+	b.RecordSuccess() // streak broken
+	b.Allow()
+	b.RecordFailure()
+	if got := b.State(); got != Closed {
+		t.Errorf("state = %s, want closed (failures are not consecutive)", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, 5*time.Second, clk.now)
+	b.Allow()
+	b.RecordFailure()
+	if b.State() != Open {
+		t.Fatal("breaker should be open")
+	}
+
+	// Before the cooldown: still shedding.
+	clk.advance(4 * time.Second)
+	if err := b.Allow(); err == nil {
+		t.Fatal("allow before cooldown should shed")
+	}
+
+	// After the cooldown: exactly one probe admitted, concurrent
+	// attempts shed while it is outstanding.
+	clk.advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted: %v", err)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %s, want half_open", b.State())
+	}
+	if err := b.Allow(); err == nil {
+		t.Fatal("second attempt during outstanding probe should shed")
+	}
+
+	// Probe success closes the circuit.
+	b.RecordSuccess()
+	if b.State() != Closed {
+		t.Fatalf("state after probe success = %s, want closed", b.State())
+	}
+
+	// Trip again; this time the probe fails and the circuit reopens.
+	b.Allow()
+	b.RecordFailure()
+	clk.advance(6 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe not admitted: %v", err)
+	}
+	b.RecordFailure()
+	if b.State() != Open {
+		t.Fatalf("state after probe failure = %s, want open", b.State())
+	}
+	if got := b.Opens(); got != 3 {
+		t.Errorf("opens = %d, want 3", got)
+	}
+}
+
+func TestBreakerCanceledProbeReleases(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, time.Second, clk.now)
+	b.Allow()
+	b.RecordFailure()
+	clk.advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted: %v", err)
+	}
+	b.RecordCanceled() // abandoned, not judged
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %s, want half_open retained", b.State())
+	}
+	// The probe slot must be reusable, or the breaker would wedge.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe after canceled probe: %v", err)
+	}
+}
+
+func TestBreakerNilIsDisabled(t *testing.T) {
+	var b *Breaker
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.RecordFailure()
+	b.RecordSuccess()
+	b.RecordCanceled()
+	if b.State() != Closed || b.Opens() != 0 {
+		t.Error("nil breaker should report closed/0")
+	}
+	if NewBreaker(0, time.Second, nil) != nil {
+		t.Error("threshold 0 should build a nil (disabled) breaker")
+	}
+}

@@ -1,0 +1,70 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is a clock-injected token-bucket rate limiter: tokens
+// refill continuously at rate per second up to burst, and each admitted
+// request spends one. A nil *TokenBucket admits everything, which is
+// how "no rate limit" is spelled.
+//
+// All methods are safe for concurrent use.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+	retry  time.Duration
+}
+
+// NewTokenBucket builds a limiter admitting rate requests per second
+// with the given burst headroom (coerced to at least 1). rate <= 0
+// returns nil: unlimited. now is the injected clock; nil means
+// time.Now.
+func NewTokenBucket(rate float64, burst int, now func() time.Time) *TokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &TokenBucket{
+		rate:  rate,
+		burst: float64(burst),
+		now:   now,
+		// One token's worth of refill, rounded up: a static value so
+		// rate-limit shed bodies are byte-stable.
+		retry: retryAfter(time.Duration(float64(time.Second) / rate)),
+	}
+}
+
+// Allow spends one token if available, otherwise returns a ShedError.
+func (tb *TokenBucket) Allow() error {
+	if tb == nil {
+		return nil
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	t := tb.now()
+	if tb.last.IsZero() {
+		tb.tokens = tb.burst
+	} else if dt := t.Sub(tb.last); dt > 0 {
+		tb.tokens += dt.Seconds() * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = t
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return nil
+	}
+	return &ShedError{Reason: RateLimited, RetryAfter: tb.retry}
+}

@@ -1,0 +1,81 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestTokenBucketBurstThenRefill(t *testing.T) {
+	clk := newFakeClock()
+	tb := NewTokenBucket(2, 3, clk.now) // 2 tokens/s, burst 3
+
+	for i := 0; i < 3; i++ {
+		if err := tb.Allow(); err != nil {
+			t.Fatalf("burst allow %d: %v", i, err)
+		}
+	}
+	err := tb.Allow()
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != RateLimited {
+		t.Fatalf("empty bucket = %v, want rate_limited", err)
+	}
+	if shed.RetryAfter != time.Second {
+		t.Errorf("RetryAfter = %s, want 1s floor", shed.RetryAfter)
+	}
+
+	// Half a second refills one token at 2/s.
+	clk.advance(500 * time.Millisecond)
+	if err := tb.Allow(); err != nil {
+		t.Fatalf("allow after refill: %v", err)
+	}
+	if err := tb.Allow(); err == nil {
+		t.Fatal("second allow should shed: only one token refilled")
+	}
+
+	// A long idle period caps at the burst, not unbounded credit.
+	clk.advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if err := tb.Allow(); err != nil {
+			t.Fatalf("post-idle allow %d: %v", i, err)
+		}
+	}
+	if err := tb.Allow(); err == nil {
+		t.Fatal("burst cap exceeded after idle")
+	}
+}
+
+func TestTokenBucketRetryAfterScalesWithRate(t *testing.T) {
+	tb := NewTokenBucket(0.25, 1, newFakeClock().now) // one token per 4s
+	tb.Allow()
+	err := tb.Allow()
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatal(err)
+	}
+	if shed.RetryAfter != 4*time.Second {
+		t.Errorf("RetryAfter = %s, want 4s (1/rate)", shed.RetryAfter)
+	}
+}
+
+func TestTokenBucketNilIsUnlimited(t *testing.T) {
+	var tb *TokenBucket
+	for i := 0; i < 1000; i++ {
+		if err := tb.Allow(); err != nil {
+			t.Fatalf("nil bucket shed: %v", err)
+		}
+	}
+	if NewTokenBucket(0, 8, nil) != nil {
+		t.Error("rate 0 should build a nil (unlimited) bucket")
+	}
+}

@@ -1,0 +1,62 @@
+// Package resilience holds the serving tier's overload-protection
+// primitives: a concurrency-limited admission controller with a bounded
+// wait queue (Limiter), a token-bucket rate limiter (TokenBucket), and
+// a consecutive-failure circuit breaker (Breaker).
+//
+// The components are mechanism, not policy: they decide *whether* an
+// attempt may proceed and return a typed ShedError when it may not, and
+// the server decides what that refusal looks like on the wire (a 429
+// with Retry-After for queue/rate sheds, a 503 or a degraded last-good
+// answer for an open breaker).
+//
+// Every clock-dependent component takes an injected now func instead of
+// reading the wall clock itself, for two reasons: tests (and the chaos
+// soak harness) can drive state transitions deterministically, and the
+// repository's determinism lint (detrand) confines time.Now to an
+// explicit allowlist — injection keeps this package off that list
+// entirely. RetryAfter values are derived from configuration, never
+// from the current time, so shed response bodies are byte-stable.
+package resilience
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Reason classifies why an attempt was refused admission.
+type Reason string
+
+const (
+	// QueueFull: the endpoint's concurrency slots and its bounded wait
+	// queue are both exhausted — waiting longer would only add latency
+	// to a request that is already doomed.
+	QueueFull Reason = "queue_full"
+	// RateLimited: the global token bucket is empty.
+	RateLimited Reason = "rate_limited"
+	// BreakerOpen: the circuit breaker around study builds is open
+	// after consecutive build failures.
+	BreakerOpen Reason = "breaker_open"
+)
+
+// ShedError is the typed refusal every component returns. RetryAfter is
+// an advisory client backoff derived from static configuration (never
+// the clock), always at least one second, so error bodies are
+// byte-deterministic.
+type ShedError struct {
+	Reason     Reason
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("overloaded (%s): retry after %s", e.Reason, e.RetryAfter)
+}
+
+// retryAfter rounds d up to whole seconds with a one-second floor, the
+// granularity of the HTTP Retry-After header.
+func retryAfter(d time.Duration) time.Duration {
+	if d <= time.Second {
+		return time.Second
+	}
+	return time.Duration(math.Ceil(d.Seconds())) * time.Second
+}

@@ -1,0 +1,46 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// writeBenchSection merges one named section ("load", "soak") into the
+// JSON document at RAINSHINE_BENCH_OUT, preserving the other sections —
+// the load and soak tests each own a section of BENCH_serve.json and
+// may run (and re-record) independently. No-op when the env var is
+// unset (the ordinary `go test` path).
+func writeBenchSection(t *testing.T, section string, v any) {
+	out := os.Getenv("RAINSHINE_BENCH_OUT")
+	if out == "" {
+		return
+	}
+	doc := map[string]any{}
+	if buf, err := os.ReadFile(out); err == nil {
+		_ = json.Unmarshal(buf, &doc)
+		// A pre-sectioned (flat) bench file is replaced wholesale.
+		if _, load := doc["load"]; !load {
+			if _, soak := doc["soak"]; !soak {
+				doc = map[string]any{}
+			}
+		}
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("encoding %s section: %v", section, err)
+	}
+	var vv any
+	if err := json.Unmarshal(raw, &vv); err != nil {
+		t.Fatal(err)
+	}
+	doc[section] = vv
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatalf("writing %s: %v", out, err)
+	}
+	t.Logf("%s summary written to %s", section, out)
+}

@@ -6,7 +6,6 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -177,13 +176,10 @@ func fetchBody(t *testing.T, url string) string {
 	return string(body)
 }
 
-// writeBenchSummary records the load test's throughput to the path in
-// RAINSHINE_BENCH_OUT (the `make serve-load` target sets it).
+// writeBenchSummary records the load test's throughput as the "load"
+// section of the file in RAINSHINE_BENCH_OUT (the `make serve-load`
+// target sets it); the chaos soak owns the sibling "soak" section.
 func writeBenchSummary(t *testing.T, total int64, clients int, wall time.Duration, snap Snapshot) {
-	out := os.Getenv("RAINSHINE_BENCH_OUT")
-	if out == "" {
-		return
-	}
 	summary := struct {
 		Test              string                      `json:"test"`
 		Clients           int                         `json:"clients"`
@@ -205,12 +201,5 @@ func writeBenchSummary(t *testing.T, total int64, clients int, wall time.Duratio
 		Cache:             snap.Cache,
 		Endpoints:         snap.Requests,
 	}
-	buf, err := json.MarshalIndent(summary, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
-		t.Fatalf("writing %s: %v", out, err)
-	}
-	t.Logf("throughput summary written to %s", out)
+	writeBenchSection(t, "load", summary)
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"rainshine/internal/resilience"
 	"rainshine/internal/stats"
 )
 
@@ -22,6 +23,8 @@ type Metrics struct {
 	endpoints map[string]*endpointStats
 	cache     CacheCounters
 	builds    BuildCounters
+	res       ResilienceCounters
+	breaker   *resilience.Breaker
 }
 
 // endpointStats accumulates one endpoint's counters plus a ring of
@@ -93,12 +96,72 @@ func (m *Metrics) BuildCanceled() { m.mu.Lock(); m.builds.Canceled++; m.mu.Unloc
 // BuildFailed records a build that returned an error.
 func (m *Metrics) BuildFailed() { m.mu.Lock(); m.builds.Failed++; m.mu.Unlock() }
 
+// BuildTimedOut records a build killed by its own build timeout (a
+// subset of Failed).
+func (m *Metrics) BuildTimedOut() { m.mu.Lock(); m.res.BuildTimeouts++; m.mu.Unlock() }
+
+// Shed records one refused admission, classified by reason.
+func (m *Metrics) Shed(reason resilience.Reason) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch reason {
+	case resilience.QueueFull:
+		m.res.ShedQueueFull++
+	case resilience.RateLimited:
+		m.res.ShedRateLimited++
+	case resilience.BreakerOpen:
+		m.res.ShedBreakerOpen++
+	}
+}
+
+// Degraded records one response served from a last-good stale study.
+func (m *Metrics) Degraded() { m.mu.Lock(); m.res.DegradedServed++; m.mu.Unlock() }
+
+// ChaosLatency / ChaosBuildFault / ChaosSlowClient count injected
+// faults so soak runs can assert the chaos harness actually fired.
+func (m *Metrics) ChaosLatency() { m.mu.Lock(); m.res.ChaosLatencies++; m.mu.Unlock() }
+
+// ChaosBuildFault records one injected build failure.
+func (m *Metrics) ChaosBuildFault() { m.mu.Lock(); m.res.ChaosBuildFaults++; m.mu.Unlock() }
+
+// ChaosSlowClient records one slow-client (trickle-write) simulation.
+func (m *Metrics) ChaosSlowClient() { m.mu.Lock(); m.res.ChaosSlowClients++; m.mu.Unlock() }
+
+// attachBreaker lets Snapshot report live breaker state; nil (the
+// disabled breaker) reports "closed".
+func (m *Metrics) attachBreaker(b *resilience.Breaker) {
+	m.mu.Lock()
+	m.breaker = b
+	m.mu.Unlock()
+}
+
 // Snapshot is the JSON shape of /metricz.
 type Snapshot struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
 	Requests      map[string]EndpointSnapshot `json:"requests"`
 	Cache         CacheCounters               `json:"cache"`
 	Builds        BuildCounters               `json:"builds"`
+	Resilience    ResilienceCounters          `json:"resilience"`
+}
+
+// ResilienceCounters summarizes admission control, degradation, and
+// chaos injection for /metricz and the soak harness.
+type ResilienceCounters struct {
+	ShedQueueFull    int64  `json:"shed_queue_full"`
+	ShedRateLimited  int64  `json:"shed_rate_limited"`
+	ShedBreakerOpen  int64  `json:"shed_breaker_open"`
+	DegradedServed   int64  `json:"degraded_served"`
+	BreakerState     string `json:"breaker_state"`
+	BreakerOpens     int64  `json:"breaker_opens"`
+	BuildTimeouts    int64  `json:"build_timeouts"`
+	ChaosLatencies   int64  `json:"chaos_latencies"`
+	ChaosBuildFaults int64  `json:"chaos_build_faults"`
+	ChaosSlowClients int64  `json:"chaos_slow_clients"`
+}
+
+// ShedTotal sums every shed class.
+func (c ResilienceCounters) ShedTotal() int64 {
+	return c.ShedQueueFull + c.ShedRateLimited + c.ShedBreakerOpen
 }
 
 // EndpointSnapshot summarizes one endpoint.
@@ -145,8 +208,11 @@ func (m *Metrics) Snapshot(cacheCapacity int) Snapshot {
 		Requests:      make(map[string]EndpointSnapshot, len(m.endpoints)),
 		Cache:         m.cache,
 		Builds:        m.builds,
+		Resilience:    m.res,
 	}
 	s.Cache.Capacity = cacheCapacity
+	s.Resilience.BreakerState = m.breaker.State().String()
+	s.Resilience.BreakerOpens = m.breaker.Opens()
 	s.Builds.InFlight = m.builds.Started - m.builds.Completed - m.builds.Canceled - m.builds.Failed
 	// Endpoint rows are assembled in sorted path order so the snapshot
 	// (and therefore /metricz) is byte-identical across repeated calls.

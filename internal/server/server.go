@@ -31,6 +31,8 @@ import (
 	"time"
 
 	"rainshine"
+	"rainshine/internal/faults"
+	"rainshine/internal/resilience"
 )
 
 // Config parameterizes the daemon.
@@ -53,9 +55,20 @@ type Config struct {
 	// study — through the study's worker pool — before the registry
 	// publishes it, so the first requests are served from memory.
 	Warmup bool
+	// Resilience tunes admission control, load shedding, the build
+	// circuit breaker, and the detached-build timeout. The zero value
+	// applies generous defaults; see ResilienceConfig.
+	Resilience ResilienceConfig
+	// Chaos, when non-nil, turns on deterministic fault injection:
+	// seeded build failures, latency spikes, and slow-client
+	// simulation. Production runs leave it nil.
+	Chaos *faults.ChaosConfig
 
 	// build overrides study construction (tests).
 	build buildFunc
+	// now overrides the clock fed to the rate limiter and breaker
+	// (tests); nil means time.Now.
+	now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -71,17 +84,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the daemon: registry + metrics + HTTP handlers.
+// Server is the daemon: registry + admission + metrics + HTTP handlers.
 type Server struct {
 	cfg     Config
 	reg     *registry
 	metrics *Metrics
+	adm     *admission
+	breaker *resilience.Breaker
+	chaos   *chaosState // nil when chaos mode is off
 	handler http.Handler
 }
 
 // New assembles a Server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	rc := cfg.Resilience.withDefaults()
+	now := cfg.now
+	if now == nil {
+		now = time.Now
+	}
 	m := NewMetrics()
 	build := cfg.build
 	if build == nil {
@@ -105,8 +126,23 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		metrics: m,
-		reg:     newRegistry(cfg.CacheSize, m, build),
+		adm:     newAdmission(rc, now),
+		breaker: resilience.NewBreaker(rc.BreakerThreshold, rc.BreakerCooldown, now),
 	}
+	m.attachBreaker(s.breaker)
+	if cfg.Chaos != nil && cfg.Chaos.Enabled() {
+		s.chaos = &chaosState{ch: faults.NewChaos(*cfg.Chaos)}
+		// Chaos wraps outermost: an injected failure skips the real
+		// build (and its warmup) entirely, like a crashed builder.
+		build = chaosBuildFunc(build, s.chaos.ch, m)
+	}
+	s.reg = newRegistry(registryOptions{
+		capacity:     cfg.CacheSize,
+		buildTimeout: rc.BuildTimeout,
+		breaker:      s.breaker,
+		metrics:      m,
+		build:        build,
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metricz", s.handleMetricz)
@@ -115,7 +151,11 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/q3", s.handleQ3)
 	mux.HandleFunc("GET /v1/predict", s.handlePredict)
 	mux.HandleFunc("GET /v1/quality", s.handleQuality)
-	s.handler = s.instrument(s.recover(s.timeout(mux)))
+	// Middleware, outermost first: metrics see every request including
+	// sheds; panics become 500s; the request deadline starts before
+	// admission so queue waits are bounded by it; admission sheds
+	// before any study work; chaos perturbs only what was admitted.
+	s.handler = s.instrument(s.recover(s.timeout(s.admit(s.chaosMiddleware(mux)))))
 	return s
 }
 
@@ -126,9 +166,12 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Metrics exposes the collector (the CLI logs a summary on shutdown).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// apiError is the JSON error envelope.
+// apiError is the JSON error envelope. Sheds and build failures carry
+// a machine-readable reason and an advisory Retry-After mirror.
 type apiError struct {
-	Error string `json:"error"`
+	Error             string `json:"error"`
+	Reason            string `json:"reason,omitempty"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }
 
 // writeJSON encodes v; an encoding failure (a bug — report types are
@@ -145,9 +188,19 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(buf, '\n'))
 }
 
-// writeError maps err to an HTTP status: bad params are the caller's
-// fault, deadline/cancel map to timeout, everything else is internal.
+// writeError maps err to an HTTP status: typed sheds become 429/503
+// with Retry-After, build failures without a fallback become 503, bad
+// params are the caller's fault, deadline/cancel map to timeout, and
+// everything else is internal.
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	if se := asShed(err); se != nil {
+		s.writeShed(w, se)
+		return
+	}
+	if be := asBuildError(err); be != nil {
+		s.writeBuildFailure(w, be)
+		return
+	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
@@ -204,28 +257,50 @@ func (s *Server) timeout(next http.Handler) http.Handler {
 	})
 }
 
+// degradedReport is the JSON envelope a stale (last-good) answer ships
+// in. Healthy responses stay bare reports — byte-identical to the batch
+// path — so the envelope appears only when degradation actually
+// happened, flagged redundantly in the X-Rainshine-Degraded header.
+type degradedReport struct {
+	Degraded bool   `json:"degraded"`
+	Reason   string `json:"reason"`
+	Detail   string `json:"detail"`
+	Data     any    `json:"data"`
+}
+
 // resolve parses the shared simulation params and gets-or-builds the
 // study through the registry. Callers must have validated their own
 // evaluation params first, so a malformed request never triggers a
-// (potentially minutes-long) study build.
-func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*rainshine.Study, bool) {
+// (potentially minutes-long) study build. A non-nil Degradation means
+// the study is a last-good stale copy and the response must say so.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*rainshine.Study, *Degradation, bool) {
 	cfg, err := parseStudyConfig(r.URL.Query())
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
-		return nil, false
+		return nil, nil, false
 	}
-	st, err := s.reg.Study(r.Context(), cfg)
+	st, deg, err := s.reg.Study(r.Context(), cfg)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, err)
-		return nil, false
+		return nil, nil, false
 	}
-	return st, true
+	return st, deg, true
 }
 
 // evaluate runs one study analysis and writes the report or the error.
-func (s *Server) evaluate(w http.ResponseWriter, rep any, err error) {
+// Degraded (stale-study) answers are wrapped in the degradedReport
+// envelope; everything in it is deterministic for a fixed seed.
+func (s *Server) evaluate(w http.ResponseWriter, deg *Degradation, rep any, err error) {
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if deg != nil {
+		s.metrics.Degraded()
+		w.Header().Set("X-Rainshine-Degraded", deg.Reason)
+		s.writeJSON(w, http.StatusOK, degradedReport{
+			Degraded: true, Reason: deg.Reason, Detail: deg.Detail, Data: rep,
+		})
 		return
 	}
 	s.writeJSON(w, http.StatusOK, rep)
@@ -237,12 +312,12 @@ func (s *Server) handleQ1(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, ok := s.resolve(w, r)
+	st, deg, ok := s.resolve(w, r)
 	if !ok {
 		return
 	}
 	rep, err := st.SpareProvisioning(wl, hourly)
-	s.evaluate(w, rep, err)
+	s.evaluate(w, deg, rep, err)
 }
 
 func (s *Server) handleQ2(w http.ResponseWriter, r *http.Request) {
@@ -251,47 +326,52 @@ func (s *Server) handleQ2(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, ok := s.resolve(w, r)
+	st, deg, ok := s.resolve(w, r)
 	if !ok {
 		return
 	}
 	rep, err := st.VendorComparison(ratios...)
-	s.evaluate(w, rep, err)
+	s.evaluate(w, deg, rep, err)
 }
 
 func (s *Server) handleQ3(w http.ResponseWriter, r *http.Request) {
-	st, ok := s.resolve(w, r)
+	st, deg, ok := s.resolve(w, r)
 	if !ok {
 		return
 	}
 	rep, err := st.ClimateGuidanceContext(r.Context())
-	s.evaluate(w, rep, err)
+	s.evaluate(w, deg, rep, err)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	st, ok := s.resolve(w, r)
+	st, deg, ok := s.resolve(w, r)
 	if !ok {
 		return
 	}
 	rep, err := st.FailurePrediction()
-	s.evaluate(w, rep, err)
+	s.evaluate(w, deg, rep, err)
 }
 
 func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
-	st, ok := s.resolve(w, r)
+	st, deg, ok := s.resolve(w, r)
 	if !ok {
 		return
 	}
 	rep, err := st.Quality()
-	s.evaluate(w, rep, err)
+	s.evaluate(w, deg, rep, err)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.breaker.State() != resilience.Closed {
+		status = "degraded" // builds are failing; cached reads still serve
+	}
 	s.writeJSON(w, http.StatusOK, struct {
 		Status        string  `json:"status"`
+		Breaker       string  `json:"breaker"`
 		CachedStudies int     `json:"cached_studies"`
 		UptimeSeconds float64 `json:"uptime_seconds"`
-	}{"ok", s.reg.Len(), time.Since(s.metrics.start).Seconds()})
+	}{status, s.breaker.State().String(), s.reg.Len(), time.Since(s.metrics.start).Seconds()})
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {

@@ -31,6 +31,23 @@ func TestStudyConfigKeyCanonicalization(t *testing.T) {
 	}
 }
 
+// newTestRegistry builds a registry with the pre-resilience defaults
+// (no breaker, 10m build timeout) so the cache-semantics tests stay
+// focused on singleflight and LRU behavior.
+func newTestRegistry(capacity int, m *Metrics, build buildFunc) *registry {
+	return newRegistry(registryOptions{capacity: capacity, metrics: m, build: build})
+}
+
+// study fetches ignoring the degradation marker (none of the
+// cache-semantics tests degrade).
+func (r *registry) study(ctx context.Context, cfg StudyConfig) (*rainshine.Study, error) {
+	st, deg, err := r.Study(ctx, cfg)
+	if deg != nil {
+		panic("unexpected degraded study in cache-semantics test")
+	}
+	return st, err
+}
+
 // fakeBuild returns a build func that counts invocations and returns a
 // distinct (nil-backed, never dereferenced) study per call site.
 func fakeBuild(calls *atomic.Int64, delay time.Duration) buildFunc {
@@ -50,7 +67,7 @@ func fakeBuild(calls *atomic.Int64, delay time.Duration) buildFunc {
 func TestRegistrySingleflight(t *testing.T) {
 	var calls atomic.Int64
 	m := NewMetrics()
-	reg := newRegistry(4, m, fakeBuild(&calls, 20*time.Millisecond))
+	reg := newTestRegistry(4, m, fakeBuild(&calls, 20*time.Millisecond))
 
 	const clients = 64
 	var wg sync.WaitGroup
@@ -58,7 +75,7 @@ func TestRegistrySingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := reg.Study(context.Background(), StudyConfig{Seed: 7}); err != nil {
+			if _, err := reg.study(context.Background(), StudyConfig{Seed: 7}); err != nil {
 				t.Errorf("Study: %v", err)
 			}
 		}()
@@ -82,7 +99,7 @@ func TestRegistrySingleflight(t *testing.T) {
 
 	// A follow-up lookup is a pure cache hit.
 	hitsBefore := snap.Cache.Hits
-	if _, err := reg.Study(context.Background(), StudyConfig{Seed: 7}); err != nil {
+	if _, err := reg.study(context.Background(), StudyConfig{Seed: 7}); err != nil {
 		t.Fatal(err)
 	}
 	if got := m.Snapshot(4).Cache.Hits; got != hitsBefore+1 {
@@ -93,10 +110,10 @@ func TestRegistrySingleflight(t *testing.T) {
 func TestRegistryLRUEviction(t *testing.T) {
 	var calls atomic.Int64
 	m := NewMetrics()
-	reg := newRegistry(2, m, fakeBuild(&calls, 0))
+	reg := newTestRegistry(2, m, fakeBuild(&calls, 0))
 
 	for seed := uint64(1); seed <= 3; seed++ {
-		if _, err := reg.Study(context.Background(), StudyConfig{Seed: seed}); err != nil {
+		if _, err := reg.study(context.Background(), StudyConfig{Seed: seed}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -108,7 +125,7 @@ func TestRegistryLRUEviction(t *testing.T) {
 	}
 	// Seed 1 was evicted (LRU tail): asking again rebuilds.
 	before := calls.Load()
-	if _, err := reg.Study(context.Background(), StudyConfig{Seed: 1}); err != nil {
+	if _, err := reg.study(context.Background(), StudyConfig{Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if calls.Load() != before+1 {
@@ -116,7 +133,7 @@ func TestRegistryLRUEviction(t *testing.T) {
 	}
 	// Seed 3 is still resident: no rebuild.
 	before = calls.Load()
-	if _, err := reg.Study(context.Background(), StudyConfig{Seed: 3}); err != nil {
+	if _, err := reg.study(context.Background(), StudyConfig{Seed: 3}); err != nil {
 		t.Fatal(err)
 	}
 	if calls.Load() != before {
@@ -126,14 +143,14 @@ func TestRegistryLRUEviction(t *testing.T) {
 
 func TestRegistryTouchKeepsHotEntry(t *testing.T) {
 	var calls atomic.Int64
-	reg := newRegistry(2, NewMetrics(), fakeBuild(&calls, 0))
+	reg := newTestRegistry(2, NewMetrics(), fakeBuild(&calls, 0))
 	bg := context.Background()
-	reg.Study(bg, StudyConfig{Seed: 1})
-	reg.Study(bg, StudyConfig{Seed: 2})
-	reg.Study(bg, StudyConfig{Seed: 1}) // touch: 1 becomes MRU
-	reg.Study(bg, StudyConfig{Seed: 3}) // evicts 2, not 1
+	reg.study(bg, StudyConfig{Seed: 1})
+	reg.study(bg, StudyConfig{Seed: 2})
+	reg.study(bg, StudyConfig{Seed: 1}) // touch: 1 becomes MRU
+	reg.study(bg, StudyConfig{Seed: 3}) // evicts 2, not 1
 	before := calls.Load()
-	reg.Study(bg, StudyConfig{Seed: 1})
+	reg.study(bg, StudyConfig{Seed: 1})
 	if calls.Load() != before {
 		t.Error("touched entry was evicted")
 	}
@@ -147,11 +164,11 @@ func TestRegistryAbandonedBuildCancels(t *testing.T) {
 		return nil, ctx.Err()
 	}
 	m := NewMetrics()
-	reg := newRegistry(4, m, build)
+	reg := newTestRegistry(4, m, build)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	if _, err := reg.Study(ctx, StudyConfig{Seed: 9}); err == nil {
+	if _, err := reg.study(ctx, StudyConfig{Seed: 9}); err == nil {
 		t.Fatal("abandoned Study returned no error")
 	}
 	select {
@@ -182,9 +199,9 @@ func TestRegistryBuildErrorNotCached(t *testing.T) {
 		return nil, context.DeadlineExceeded
 	}
 	m := NewMetrics()
-	reg := newRegistry(4, m, build)
+	reg := newTestRegistry(4, m, build)
 	for i := 0; i < 2; i++ {
-		if _, err := reg.Study(context.Background(), StudyConfig{Seed: 5}); err == nil {
+		if _, err := reg.study(context.Background(), StudyConfig{Seed: 5}); err == nil {
 			t.Fatal("build error not surfaced")
 		}
 	}
@@ -200,8 +217,8 @@ func TestRegistryBuildPanicBecomesError(t *testing.T) {
 	build := func(ctx context.Context, cfg StudyConfig) (*rainshine.Study, error) {
 		panic("kaboom")
 	}
-	reg := newRegistry(4, NewMetrics(), build)
-	_, err := reg.Study(context.Background(), StudyConfig{})
+	reg := newTestRegistry(4, NewMetrics(), build)
+	_, err := reg.study(context.Background(), StudyConfig{})
 	if err == nil || !strings.Contains(err.Error(), "kaboom") {
 		t.Errorf("err = %v, want build panic surfaced", err)
 	}
