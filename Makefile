@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench serve-load soak repro outputs examples fuzz clean
+.PHONY: all build vet lint test race bench bench-fleet bench-fleet-check serve-load soak repro outputs examples fuzz clean
 
 all: build vet lint test
 
@@ -35,6 +35,21 @@ bench:
 	$(GO) test -bench=. -benchmem .
 	RAINSHINE_BENCH_OUT=$(CURDIR)/BENCH_analysis.json \
 		$(GO) test -run 'TestBenchAnalysis$$' -count=1 -v .
+
+# Fleet-scale benchmark + regression gate: the 1M-row binned CART fit
+# with -benchmem, then TestBenchFleet, which fails if cart_fit_20k or
+# cart_fit_1m_binned regressed >15% ns/op against BENCH_analysis.json
+# and merges fresh numbers into the snapshot (recording the
+# cart_fit_1m_exact baseline on first run).
+bench-fleet:
+	$(GO) test -run XXX -bench 'CARTFit1MBinned$$' -benchmem -count=1 .
+	RAINSHINE_BENCH_FLEET=1 RAINSHINE_BENCH_OUT=$(CURDIR)/BENCH_analysis.json \
+		$(GO) test -run 'TestBenchFleet$$' -count=1 -v .
+
+# Gate-only variant for CI: compares against the committed snapshot
+# without rewriting it.
+bench-fleet-check:
+	RAINSHINE_BENCH_FLEET=1 $(GO) test -run 'TestBenchFleet$$' -count=1 -v .
 
 # Concurrent load test against the serve daemon (32 parallel clients,
 # mixed endpoints, 3 distinct configs) under the race detector; records
@@ -72,6 +87,7 @@ examples:
 
 fuzz:
 	$(GO) test -fuzz FuzzReadFrameCSV -fuzztime 30s ./internal/export/
+	$(GO) test -fuzz FuzzNullBitmapRoundTrip -fuzztime 30s ./internal/export/
 	$(GO) test -fuzz FuzzTicketsCSVRoundTrip -fuzztime 30s ./internal/export/
 	$(GO) test -fuzz FuzzIngestTickets -fuzztime 30s ./internal/ingest/
 	$(GO) test -fuzz FuzzQuantile -fuzztime 30s ./internal/stats/

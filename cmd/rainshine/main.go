@@ -43,6 +43,11 @@
 //	            into the recorded telemetry and scrub it through ingest
 //	-workers N  worker goroutines for simulation and analysis (default 0 =
 //	            all CPUs, 1 = serial; every count yields identical output)
+//	-bins N     histogram bin cap for the fleet-scale binned CART split
+//	            search (default 255, clamped to [2,255]; small studies
+//	            below the auto-binning threshold are unaffected)
+//	-exact      force exact (presorted) CART split search at any data
+//	            size — the audit path for binned results
 package main
 
 import (
@@ -75,6 +80,8 @@ func run(args []string) error {
 	dirty := fs.Bool("faults", false, "inject the default deterministic fault mix (dirty-data mode)")
 	workers := fs.Int("workers", 0,
 		"worker goroutines for simulation and analysis (0 = all CPUs, 1 = serial; results identical)")
+	bins := fs.Int("bins", 0, "histogram bin cap for binned CART split search (0 = default 255)")
+	exact := fs.Bool("exact", false, "force exact CART split search at any data size")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +100,12 @@ func run(args []string) error {
 	}
 	if *dirty {
 		opts = append(opts, rainshine.WithFaults(rainshine.DefaultFaults()))
+	}
+	if *bins != 0 {
+		opts = append(opts, rainshine.WithBins(*bins))
+	}
+	if *exact {
+		opts = append(opts, rainshine.WithExactSplits())
 	}
 	if *racks != "" {
 		// Shared with the server's racks query parameter: rejects

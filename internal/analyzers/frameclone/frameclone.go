@@ -5,13 +5,19 @@
 // at a ShallowClone (or another fresh frame) is the exact race class
 // the predict/skucmp fixes closed by hand.
 //
-// The pass tracks, in source order, which frame-typed variables alias a
-// parameter: an assignment from ShallowClone/Subset/Filter/Select or
-// frame.New cleanses the variable, a plain alias (work := f) inherits
-// the taint. Mutating calls on a still-tainted variable are reported.
-// Unexported functions are builders operating on locally owned frames
-// and are exempt; the package defining Frame is the implementation and
-// is skipped entirely.
+// The pass tracks two taints, in source order. The attach taint covers
+// the column directory: an assignment from ShallowClone/Subset/Filter/
+// Select or frame.New cleanses it, a plain alias (work := f) inherits
+// it, and a mutating Add* call on a still-tainted variable is reported.
+// The deep taint covers cell storage: ShallowClone and Select copy the
+// directory but share the column Data slices and null bitmaps, so only
+// Subset/Filter/New — which copy cells — cleanse it. Columns derived
+// from a deep-tainted frame (Col/MustCol/ColAt) and chunks derived from
+// such columns (Chunk/Chunks) alias caller-visible storage; calling
+// MarkNull/SetMissing on them is reported unless the column was first
+// re-pointed at a Clone. Unexported functions are builders operating on
+// locally owned frames and are exempt; the package defining Frame is
+// the implementation and is skipped entirely.
 package frameclone
 
 import (
@@ -26,11 +32,11 @@ import (
 // Analyzer is the frameclone pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "frameclone",
-	Doc:  "require ShallowClone before attaching columns to a parameter-received *frame.Frame in exported functions",
+	Doc:  "require ShallowClone before attaching columns to, and Subset/Clone before mutating cells of, a parameter-received *frame.Frame in exported functions",
 	Run:  run,
 }
 
-// mutators are the column-attaching frame methods.
+// mutators are the column-attaching frame methods (attach taint).
 var mutators = map[string]bool{
 	"AddContinuous":     true,
 	"AddNominalInts":    true,
@@ -38,12 +44,40 @@ var mutators = map[string]bool{
 	"AddOrdinalInts":    true,
 }
 
-// cleansers are the frame methods returning a frame the caller owns.
+// cellMutators are the null-bitmap writers on columns and chunks (deep
+// taint): they reach through shared Data/bitmap storage.
+var cellMutators = map[string]bool{
+	"MarkNull":   true,
+	"SetMissing": true,
+}
+
+// cleansers are the frame methods returning a frame the caller owns
+// at the directory level. Only the subset that copies cell storage
+// (deepCleansers) also clears the deep taint.
 var cleansers = map[string]bool{
 	"ShallowClone": true,
 	"Subset":       true,
 	"Filter":       true,
 	"Select":       true,
+}
+
+// deepCleansers copy cell storage, not just the column directory.
+var deepCleansers = map[string]bool{
+	"Subset": true,
+	"Filter": true,
+}
+
+// colDerivers hand out *Column views into a frame's storage.
+var colDerivers = map[string]bool{
+	"Col":     true,
+	"MustCol": true,
+	"ColAt":   true,
+}
+
+// chunkDerivers hand out Chunk views into a column's storage.
+var chunkDerivers = map[string]bool{
+	"Chunk":  true,
+	"Chunks": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -86,41 +120,77 @@ func definesFrame(pkg *types.Package) bool {
 // isFramePtr matches *frame.Frame (any package whose Frame type has a
 // ShallowClone method, so the analysistest fixture twin counts too).
 func isFramePtr(t types.Type) bool {
+	return isNamedPtrWithMethod(t, "Frame", "ShallowClone")
+}
+
+// isColumnPtr matches *frame.Column by its MarkNull method.
+func isColumnPtr(t types.Type) bool {
+	return isNamedPtrWithMethod(t, "Column", "MarkNull")
+}
+
+// isChunk matches the value type frame.Chunk by its MarkNull method.
+func isChunk(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Chunk" {
+		return false
+	}
+	return hasMethod(named, "MarkNull")
+}
+
+func isNamedPtrWithMethod(t types.Type, name, method string) bool {
 	ptr, ok := t.(*types.Pointer)
 	if !ok {
 		return false
 	}
 	named, ok := ptr.Elem().(*types.Named)
-	if !ok || named.Obj().Name() != "Frame" {
+	if !ok || named.Obj().Name() != name {
 		return false
 	}
+	return hasMethod(named, method)
+}
+
+func hasMethod(named *types.Named, method string) bool {
 	for i := 0; i < named.NumMethods(); i++ {
-		if named.Method(i).Name() == "ShallowClone" {
+		if named.Method(i).Name() == method {
 			return true
 		}
 	}
 	return false
 }
 
+// state is the per-function taint record the events replay over.
+type state struct {
+	attach map[*types.Var]bool // frame vars whose column directory is shared
+	deep   map[*types.Var]bool // frame vars whose cell storage is shared
+	col    map[*types.Var]bool // column vars viewing shared cell storage
+	chunk  map[*types.Var]bool // chunk vars viewing shared cell storage
+}
+
 // event is one taint-relevant statement, replayed in source order.
 type event struct {
 	pos token.Pos
-	run func(tainted map[*types.Var]bool, report func(token.Pos, string))
+	run func(st *state, report func(token.Pos, string))
 }
 
 func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	// Seed the taint set with the frame-typed parameters.
-	tainted := map[*types.Var]bool{}
+	// Seed both taints with the frame-typed parameters.
+	st := &state{
+		attach: map[*types.Var]bool{},
+		deep:   map[*types.Var]bool{},
+		col:    map[*types.Var]bool{},
+		chunk:  map[*types.Var]bool{},
+	}
 	sig, ok := pass.TypesInfo.Defs[fd.Name].Type().(*types.Signature)
 	if !ok {
 		return
 	}
 	for i := 0; i < sig.Params().Len(); i++ {
 		if p := sig.Params().At(i); isFramePtr(p.Type()) {
-			tainted[p] = true
+			st.attach[p] = true
+			st.deep[p] = true
 		}
 	}
-	if len(tainted) == 0 {
+	if len(st.attach) == 0 {
 		return
 	}
 
@@ -129,8 +199,15 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			events = append(events, assignEvents(pass, n)...)
+		case *ast.RangeStmt:
+			if ev, ok := rangeEvent(pass, n); ok {
+				events = append(events, ev)
+			}
 		case *ast.CallExpr:
 			if ev, ok := mutationEvent(pass, n); ok {
+				events = append(events, ev)
+			}
+			if ev, ok := cellMutationEvent(pass, n); ok {
 				events = append(events, ev)
 			}
 		}
@@ -138,16 +215,38 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 	})
 	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
 	for _, ev := range events {
-		ev.run(tainted, func(pos token.Pos, name string) {
-			pass.Reportf(pos, "attaching a column to %s, which aliases a parameter frame shared with the caller; ShallowClone it first", name)
+		ev.run(st, func(pos token.Pos, msg string) {
+			pass.Reportf(pos, "%s", msg)
 		})
 	}
 }
 
-// assignEvents classifies each lhs := rhs pair: cleansing calls clear
-// the taint, plain aliases of tainted variables propagate it.
+// assignEvents classifies each assignment: cleansing calls clear the
+// relevant taint, derivers inherit the receiver's taint, plain aliases
+// of tainted variables propagate it. Tuple assignments (c, err :=
+// f.Col(...); g, err := f.Select(...)) carry the single call on the
+// right to the first value-position variable on the left.
 func assignEvents(pass *analysis.Pass, as *ast.AssignStmt) []event {
 	if len(as.Lhs) != len(as.Rhs) {
+		// Tuple form: one multi-value call on the right.
+		if len(as.Rhs) != 1 {
+			return nil
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj, ok := pass.TypesInfo.ObjectOf(lhs).(*types.Var)
+		if !ok {
+			return nil
+		}
+		if ev, ok := classifyAssign(pass, as.Pos(), obj, call); ok {
+			return []event{ev}
+		}
 		return nil
 	}
 	var out []event
@@ -157,52 +256,136 @@ func assignEvents(pass *analysis.Pass, as *ast.AssignStmt) []event {
 			continue
 		}
 		obj, ok := pass.TypesInfo.ObjectOf(lhs).(*types.Var)
-		if !ok || !isFramePtr(obj.Type()) {
+		if !ok {
 			continue
 		}
-		rhs := ast.Unparen(as.Rhs[i])
-		switch {
-		case isCleansingExpr(pass, rhs):
-			out = append(out, event{as.Pos(), func(t map[*types.Var]bool, _ func(token.Pos, string)) { delete(t, obj) }})
-		case aliasSource(pass, rhs) != nil:
-			src := aliasSource(pass, rhs)
-			out = append(out, event{as.Pos(), func(t map[*types.Var]bool, _ func(token.Pos, string)) {
-				if t[src] {
-					t[obj] = true
-				} else {
-					delete(t, obj)
-				}
-			}})
-		default:
-			out = append(out, event{as.Pos(), func(t map[*types.Var]bool, _ func(token.Pos, string)) { delete(t, obj) }})
+		if ev, ok := classifyAssign(pass, as.Pos(), obj, ast.Unparen(as.Rhs[i])); ok {
+			out = append(out, ev)
 		}
 	}
 	return out
 }
 
-// isCleansingExpr matches f.ShallowClone()/Subset/Filter/Select and
-// frame.New-style constructors.
-func isCleansingExpr(pass *analysis.Pass, e ast.Expr) bool {
-	call, ok := e.(*ast.CallExpr)
+// classifyAssign builds the taint-update event for lhs = rhs, keyed on
+// the static type of the left-hand variable.
+func classifyAssign(pass *analysis.Pass, pos token.Pos, obj *types.Var, rhs ast.Expr) (event, bool) {
+	switch {
+	case isFramePtr(obj.Type()):
+		return frameAssign(pass, pos, obj, rhs), true
+	case isColumnPtr(obj.Type()):
+		return columnAssign(pass, pos, obj, rhs), true
+	case isChunk(obj.Type()):
+		return chunkAssign(pass, pos, obj, rhs), true
+	}
+	return event{}, false
+}
+
+func frameAssign(pass *analysis.Pass, pos token.Pos, obj *types.Var, rhs ast.Expr) event {
+	if name, recv, ok := methodCall(pass, rhs, isFramePtr); ok && cleansers[name] {
+		deepClean := deepCleansers[name]
+		return event{pos, func(st *state, _ func(token.Pos, string)) {
+			delete(st.attach, obj)
+			if deepClean || recv == nil || !st.deep[recv] {
+				delete(st.deep, obj)
+			} else {
+				// ShallowClone/Select: directory copied, cells shared.
+				st.deep[obj] = true
+			}
+		}}
+	}
+	if src := aliasSource(pass, rhs); src != nil {
+		return event{pos, func(st *state, _ func(token.Pos, string)) {
+			setTaint(st.attach, obj, st.attach[src])
+			setTaint(st.deep, obj, st.deep[src])
+		}}
+	}
+	return event{pos, func(st *state, _ func(token.Pos, string)) {
+		delete(st.attach, obj)
+		delete(st.deep, obj)
+	}}
+}
+
+func columnAssign(pass *analysis.Pass, pos token.Pos, obj *types.Var, rhs ast.Expr) event {
+	if name, recv, ok := methodCall(pass, rhs, isFramePtr); ok && colDerivers[name] {
+		return event{pos, func(st *state, _ func(token.Pos, string)) {
+			setTaint(st.col, obj, recv != nil && st.deep[recv])
+		}}
+	}
+	if name, _, ok := methodCall(pass, rhs, isColumnPtr); ok && name == "Clone" {
+		return event{pos, func(st *state, _ func(token.Pos, string)) { delete(st.col, obj) }}
+	}
+	if src := aliasSource(pass, rhs); src != nil {
+		return event{pos, func(st *state, _ func(token.Pos, string)) { setTaint(st.col, obj, st.col[src]) }}
+	}
+	return event{pos, func(st *state, _ func(token.Pos, string)) { delete(st.col, obj) }}
+}
+
+func chunkAssign(pass *analysis.Pass, pos token.Pos, obj *types.Var, rhs ast.Expr) event {
+	if name, recv, ok := methodCall(pass, rhs, isColumnPtr); ok && chunkDerivers[name] {
+		return event{pos, func(st *state, _ func(token.Pos, string)) {
+			setTaint(st.chunk, obj, recv != nil && st.col[recv])
+		}}
+	}
+	if src := aliasSource(pass, rhs); src != nil {
+		return event{pos, func(st *state, _ func(token.Pos, string)) { setTaint(st.chunk, obj, st.chunk[src]) }}
+	}
+	return event{pos, func(st *state, _ func(token.Pos, string)) { delete(st.chunk, obj) }}
+}
+
+// rangeEvent handles `for _, ch := range c.Chunks(n)`: each chunk
+// inherits the column's view taint.
+func rangeEvent(pass *analysis.Pass, rng *ast.RangeStmt) (event, bool) {
+	if rng.Value == nil {
+		return event{}, false
+	}
+	val, ok := ast.Unparen(rng.Value).(*ast.Ident)
 	if !ok {
-		return false
+		return event{}, false
+	}
+	obj, ok := pass.TypesInfo.ObjectOf(val).(*types.Var)
+	if !ok || !isChunk(obj.Type()) {
+		return event{}, false
+	}
+	name, recv, ok := methodCall(pass, ast.Unparen(rng.X), isColumnPtr)
+	if !ok || !chunkDerivers[name] {
+		return event{}, false
+	}
+	return event{rng.Pos(), func(st *state, _ func(token.Pos, string)) {
+		setTaint(st.chunk, obj, recv != nil && st.col[recv])
+	}}, true
+}
+
+// methodCall matches recv.Name(...) where the receiver type satisfies
+// wantRecv, returning the method name and (when the receiver is a bare
+// identifier) the receiver variable.
+func methodCall(pass *analysis.Pass, e ast.Expr, wantRecv func(types.Type) bool) (string, *types.Var, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", nil, false
 	}
 	fn := analysis.ObjectOf(pass.TypesInfo, call)
 	if fn == nil {
-		return false
+		return "", nil, false
 	}
-	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-		return cleansers[fn.Name()] && isFramePtr(sig.Recv().Type())
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !wantRecv(sig.Recv().Type()) {
+		return "", nil, false
 	}
-	return fn.Name() == "New" && isFrameConstructor(fn)
+	var recv *types.Var
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			recv, _ = pass.TypesInfo.ObjectOf(id).(*types.Var)
+		}
+	}
+	return fn.Name(), recv, true
 }
 
-func isFrameConstructor(fn *types.Func) bool {
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Results().Len() == 0 {
-		return false
+func setTaint(m map[*types.Var]bool, v *types.Var, on bool) {
+	if on {
+		m[v] = true
+	} else {
+		delete(m, v)
 	}
-	return isFramePtr(sig.Results().At(0).Type())
 }
 
 // aliasSource returns the variable a bare identifier RHS refers to.
@@ -237,9 +420,43 @@ func mutationEvent(pass *analysis.Pass, call *ast.CallExpr) (event, bool) {
 	if !ok {
 		return event{}, false
 	}
-	return event{call.Pos(), func(t map[*types.Var]bool, report func(token.Pos, string)) {
-		if t[obj] {
-			report(call.Pos(), recv.Name)
+	return event{call.Pos(), func(st *state, report func(token.Pos, string)) {
+		if st.attach[obj] {
+			report(call.Pos(), "attaching a column to "+recv.Name+", which aliases a parameter frame shared with the caller; ShallowClone it first")
+		}
+	}}, true
+}
+
+// cellMutationEvent matches c.MarkNull(i)/c.SetMissing(i) with c a
+// tracked column or chunk viewing shared storage.
+func cellMutationEvent(pass *analysis.Pass, call *ast.CallExpr) (event, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !cellMutators[sel.Sel.Name] {
+		return event{}, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return event{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return event{}, false
+	}
+	isCol := isColumnPtr(sig.Recv().Type())
+	if !isCol && !isChunk(sig.Recv().Type()) {
+		return event{}, false
+	}
+	recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return event{}, false
+	}
+	obj, ok := pass.TypesInfo.ObjectOf(recv).(*types.Var)
+	if !ok {
+		return event{}, false
+	}
+	return event{call.Pos(), func(st *state, report func(token.Pos, string)) {
+		if (isCol && st.col[obj]) || (!isCol && st.chunk[obj]) {
+			report(call.Pos(), "marking nulls on "+recv.Name+", which views cell storage shared with the caller; Subset/Filter the frame or Clone the column first")
 		}
 	}}, true
 }

@@ -37,3 +37,80 @@ func Fresh(f *frame.Frame) *frame.Frame {
 func build(f *frame.Frame) {
 	f.AddContinuous("x", nil)
 }
+
+// MarkCol marks nulls through a column view of the parameter frame.
+func MarkCol(f *frame.Frame) {
+	c, _ := f.Col("x")
+	c.MarkNull(0) // want `marking nulls on c, which views cell storage shared with the caller`
+}
+
+// SetCol writes a missing cell through MustCol on the parameter frame.
+func SetCol(f *frame.Frame) {
+	c := f.MustCol("x")
+	c.SetMissing(0) // want `marking nulls on c, which views cell storage shared with the caller`
+}
+
+// MarkColAt marks nulls through a positional column view.
+func MarkColAt(f *frame.Frame) {
+	c := f.ColAt(0)
+	c.MarkNull(0) // want `marking nulls on c, which views cell storage shared with the caller`
+}
+
+// ShallowStillShared: ShallowClone copies the directory, not the cells,
+// so column views of the clone still alias the caller's storage.
+func ShallowStillShared(f *frame.Frame) {
+	g := f.ShallowClone()
+	c := g.MustCol("x")
+	c.MarkNull(0) // want `marking nulls on c, which views cell storage shared with the caller`
+}
+
+// SelectStillShared: Select shares column storage too.
+func SelectStillShared(f *frame.Frame) {
+	g, _ := f.Select("x")
+	c := g.MustCol("x")
+	c.MarkNull(0) // want `marking nulls on c, which views cell storage shared with the caller`
+}
+
+// SubsetOwnsCells: Subset copies cells, so its views are safe (negative).
+func SubsetOwnsCells(f *frame.Frame) {
+	g := f.Subset(nil)
+	c := g.MustCol("x")
+	c.MarkNull(0)
+}
+
+// FilterOwnsCells: Filter copies cells too (negative).
+func FilterOwnsCells(f *frame.Frame) {
+	g := f.Filter(nil)
+	c := g.MustCol("x")
+	c.SetMissing(0)
+}
+
+// ClonedColumn re-points the view at a deep copy first (negative).
+func ClonedColumn(f *frame.Frame) {
+	c := f.MustCol("x")
+	c = c.Clone()
+	c.MarkNull(0)
+}
+
+// MarkChunk marks nulls through a chunk window of a shared column.
+func MarkChunk(f *frame.Frame) {
+	c := f.MustCol("x")
+	ch := c.Chunk(0, 1)
+	ch.MarkNull(0) // want `marking nulls on ch, which views cell storage shared with the caller`
+}
+
+// MarkChunks marks nulls while ranging over the chunk list.
+func MarkChunks(f *frame.Frame) {
+	c := f.MustCol("x")
+	for _, ch := range c.Chunks(4) {
+		ch.MarkNull(0) // want `marking nulls on ch, which views cell storage shared with the caller`
+	}
+}
+
+// ChunkOfOwnedColumn windows a cloned column (negative).
+func ChunkOfOwnedColumn(f *frame.Frame) {
+	c := f.MustCol("x").Clone()
+	for _, ch := range c.Chunks(4) {
+		ch.MarkNull(0)
+	}
+}

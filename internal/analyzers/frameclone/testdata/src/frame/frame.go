@@ -3,34 +3,96 @@
 // package defining Frame, so nothing here is flagged.
 package frame
 
+// Column is one typed dense column with a null bitmap.
+type Column struct {
+	Name  string
+	Data  []float64
+	nulls []bool
+}
+
+// MarkNull records a null without disturbing the raw value.
+func (c *Column) MarkNull(i int) { c.nulls[i] = true }
+
+// SetMissing records a null and overwrites the cell with NaN.
+func (c *Column) SetMissing(i int) { c.MarkNull(i) }
+
+// Clone deep-copies the column, cells and bitmap included.
+func (c *Column) Clone() *Column {
+	return &Column{Name: c.Name, Data: append([]float64(nil), c.Data...), nulls: append([]bool(nil), c.nulls...)}
+}
+
+// Chunk is a half-open row window into a column's storage.
+type Chunk struct {
+	Lo, Hi int
+	col    *Column
+}
+
+// MarkNull records a null at chunk-relative index i.
+func (ch Chunk) MarkNull(i int) { ch.col.MarkNull(ch.Lo + i) }
+
+// Chunk returns the [lo,hi) window over the column's storage.
+func (c *Column) Chunk(lo, hi int) Chunk { return Chunk{Lo: lo, Hi: hi, col: c} }
+
+// Chunks splits the column into fixed-size windows.
+func (c *Column) Chunks(rows int) []Chunk {
+	return []Chunk{c.Chunk(0, len(c.Data))}
+}
+
 // Frame is a column-oriented table.
 type Frame struct {
-	cols  map[string][]float64
+	cols  []Column
 	names []string
 }
 
 // New returns an empty frame the caller owns.
 func New() *Frame {
-	return &Frame{cols: map[string][]float64{}}
+	return &Frame{}
 }
 
 // ShallowClone copies the column directory; the caller may attach
-// columns without affecting the original.
+// columns without affecting the original, but cell storage is shared.
 func (f *Frame) ShallowClone() *Frame {
 	g := New()
 	g.names = append(g.names, f.names...)
-	for k, v := range f.cols {
-		g.cols[k] = v
+	g.cols = append(g.cols, f.cols...)
+	return g
+}
+
+// Subset returns a new frame holding the selected rows (cells copied).
+func (f *Frame) Subset(rows []int) *Frame {
+	g := New()
+	for i := range f.cols {
+		c := f.cols[i].Clone()
+		g.cols = append(g.cols, *c)
+		g.names = append(g.names, c.Name)
 	}
 	return g
 }
 
-// Subset returns a new frame holding the selected rows.
-func (f *Frame) Subset(rows []int) *Frame { return f.ShallowClone() }
+// Filter returns a new frame holding the kept rows (cells copied).
+func (f *Frame) Filter(keep func(int) bool) *Frame { return f.Subset(nil) }
+
+// Select returns a new frame restricted to the named columns; cell
+// storage is shared with the receiver.
+func (f *Frame) Select(names ...string) (*Frame, error) {
+	g := New()
+	g.cols = append(g.cols, f.cols...)
+	g.names = append(g.names, f.names...)
+	return g, nil
+}
+
+// Col returns the named column view.
+func (f *Frame) Col(name string) (*Column, error) { return &f.cols[0], nil }
+
+// MustCol returns the named column view or panics.
+func (f *Frame) MustCol(name string) *Column { return &f.cols[0] }
+
+// ColAt returns the column view at position i.
+func (f *Frame) ColAt(i int) *Column { return &f.cols[i] }
 
 // AddContinuous attaches a float column in place.
 func (f *Frame) AddContinuous(name string, data []float64) {
-	f.cols[name] = data
+	f.cols = append(f.cols, Column{Name: name, Data: data})
 	f.names = append(f.names, name)
 }
 

@@ -1,0 +1,910 @@
+package cart
+
+// Histogram-binned split search: the fleet-scale engine behind
+// SplitBinned / SplitAuto. Instead of presorting every feature and
+// scanning rows at each node, each continuous feature is quantized once
+// per Fit into at most Config.Bins quantile bins (byte codes), and the
+// per-node search scans bin histograms — O(bins) per feature per node
+// after an O(rows) histogram build, with the sibling histogram obtained
+// by subtraction so only the smaller child is ever scanned.
+//
+// Nominal and ordinal features keep their exact search: their level
+// sets are the bins (one level, one bin), so the category-ordering scan
+// and the ordinal level-order scan evaluate exactly the split positions
+// the exact engine evaluates.
+//
+// Determinism contract: the quantizer samples on a fixed stride, the
+// coding pass is chunked on frame.ChunkRows boundaries with per-chunk
+// partials merged in chunk order, per-feature scans run through
+// parallel.ForEachWorker with per-slot scratch and reduce in feature
+// order, and the permutation partition is a stable single-threaded
+// scatter. The fitted tree is byte-identical for every worker count.
+//
+// Threshold consistency: training routes rows by byte code, prediction
+// routes raw floats by Node.Threshold. The coding pass tracks each
+// bin's global min and max; a split after bin p (next occupied bin q)
+// gets threshold (binMax[p]+binMin[q])/2, which lies strictly between
+// the two bins' value ranges, so code <= p and value <= threshold agree
+// on every training row.
+
+import (
+	"context"
+	"math"
+	"slices"
+
+	"rainshine/internal/frame"
+	"rainshine/internal/parallel"
+)
+
+const (
+	// binSample caps the per-feature quantile sample size.
+	binSample = 8192
+	// binGrid is the resolution of the uniform value grid the byte LUT
+	// quantizes through: value -> grid cell -> bin.
+	binGrid = 1 << 16
+)
+
+// binFeat is the per-feature binning metadata.
+type binFeat struct {
+	// nb is the number of real bins (byte codes 0..nb-1); missing cells
+	// code as missingCode. Zero for an all-missing feature.
+	nb int
+
+	// Continuous quantizer: code = lut[clamp(int((v-lo)*invCell))].
+	lut     []uint8
+	lo      float64
+	invCell float64
+
+	// Per-bin value ranges, for threshold construction (continuous:
+	// observed global min/max; ordinal: the level index itself; nil for
+	// nominal).
+	binMin, binMax []float64
+}
+
+// bsplit is one candidate split plus the finite-case aggregates the
+// winning scan saw, so child statistics are derived arithmetically
+// instead of by re-scanning rows.
+type bsplit struct {
+	feature   int
+	bin       int // numeric: last byte code routed left
+	threshold float64
+	leftSet   []uint64
+	gain      float64
+
+	nl, sl, ql float64 // regression: finite-left count/sum/sum-of-squares
+	nf, sf, qf float64 // regression: finite-total count/sum/sum-of-squares
+
+	leftCounts, totCounts []float64 // classification: per-class analogues
+}
+
+// nodeAgg carries a node's response aggregates down the recursion.
+type nodeAgg struct {
+	n, sum, sq float64   // regression
+	counts     []float64 // classification (owned by the node)
+}
+
+// binScratch holds one worker slot's reusable scan buffers.
+type binScratch struct {
+	present []int
+	score   []float64
+
+	left, right, total, bestLeft []float64 // class counts
+}
+
+func newBinScratch(nClasses, maxNb int) *binScratch {
+	sc := &binScratch{
+		present: make([]int, 0, maxNb),
+		score:   make([]float64, maxNb),
+	}
+	if nClasses > 0 {
+		sc.left = make([]float64, nClasses)
+		sc.right = make([]float64, nClasses)
+		sc.total = make([]float64, nClasses)
+		sc.bestLeft = make([]float64, nClasses)
+	}
+	return sc
+}
+
+type binnedBuilder struct {
+	cfg          Config
+	ctx          context.Context
+	tree         *Tree
+	y            []float64
+	n            int
+	nClasses     int
+	rootImpurity float64
+	workers      int
+
+	feats []binFeat
+	codes [][]uint8 // per feature, original row order
+
+	// perm is the node-ordered row permutation: each node owns a
+	// contiguous [lo, hi) range. Partitions scatter perm stably, so the
+	// original row order survives inside every node and histogram
+	// builds stream monotonically through the code arrays.
+	perm, permTmp []int32
+
+	// Flat histogram layout: feature fi occupies [off[fi], off[fi+1]).
+	off     []int
+	histLen int
+	pool    [][]float64
+
+	featSplit []bsplit
+	featOK    []bool
+	scratch   []*binScratch
+}
+
+// fitBinned grows the tree with the histogram engine. The Tree arrives
+// with Features, ClassLevels, and importanceRaw already populated.
+func fitBinned(ctx context.Context, cfg Config, t *Tree, cols []*frame.Column, y []float64) (*Tree, error) {
+	b := &binnedBuilder{cfg: cfg, ctx: ctx, tree: t, y: y, n: len(y)}
+	if cfg.Task == Classification {
+		b.nClasses = len(t.ClassLevels)
+	}
+	if err := b.prepare(cols); err != nil {
+		return nil, err
+	}
+	agg := b.rootAgg()
+	root := b.makeNode(agg)
+	b.rootImpurity = root.Impurity
+	hist := b.getHist()
+	b.buildHist(0, b.n, hist)
+	b.grow(root, agg, 0, b.n, hist, 0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t.Root = root
+	t.numberLeaves()
+	return t, nil
+}
+
+// prepare codes every feature to bytes and lays out the histogram
+// space. Quantizer construction fans over features; the coding pass
+// fans over (feature, chunk) tasks on frame.ChunkRows boundaries with
+// per-task min/max partials merged in task order.
+func (b *binnedBuilder) prepare(cols []*frame.Column) error {
+	nf := len(cols)
+	b.workers = parallel.Workers(b.cfg.Workers)
+	b.feats = make([]binFeat, nf)
+	b.codes = make([][]uint8, nf)
+	for fi := range cols {
+		b.codes[fi] = make([]uint8, b.n)
+	}
+	b.featSplit = make([]bsplit, nf)
+	b.featOK = make([]bool, nf)
+	b.perm = make([]int32, b.n)
+	for i := range b.perm {
+		b.perm[i] = int32(i)
+	}
+	b.permTmp = make([]int32, b.n)
+
+	err := parallel.ForEach(b.ctx, b.cfg.Workers, nf, func(fi int) error {
+		c := cols[fi]
+		ft := &b.feats[fi]
+		if c.Kind != frame.Continuous {
+			nLevels := len(c.Levels)
+			ft.nb = nLevels
+			if c.Kind == frame.Ordinal {
+				ft.binMin = make([]float64, nLevels)
+				ft.binMax = make([]float64, nLevels)
+				for l := range ft.binMin {
+					ft.binMin[l] = float64(l)
+					ft.binMax[l] = float64(l)
+				}
+			}
+			return nil
+		}
+		b.buildQuantizer(ft, c)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	bounds := frame.ChunkBounds(b.n, frame.ChunkRows)
+	nTasks := nf * len(bounds)
+	partMin := make([][]float64, nTasks)
+	partMax := make([][]float64, nTasks)
+	err = parallel.ForEach(b.ctx, b.cfg.Workers, nTasks, func(ti int) error {
+		fi, ci := ti/len(bounds), ti%len(bounds)
+		c := cols[fi]
+		ft := &b.feats[fi]
+		codes := b.codes[fi]
+		if ft.nb == 0 { // all-missing continuous feature
+			for r := bounds[ci][0]; r < bounds[ci][1]; r++ {
+				codes[r] = missingCode
+			}
+			return nil
+		}
+		ch := c.Chunk(bounds[ci][0], bounds[ci][1])
+		nulls := c.Nulls()
+		if c.Kind != frame.Continuous {
+			nb := ft.nb
+			for i, v := range ch.Data {
+				r := ch.Lo + i
+				code := uint8(missingCode)
+				if !nulls.Get(r) && isFinite(v) {
+					if l := int(v); l >= 0 && l < nb && float64(l) == v {
+						code = uint8(l)
+					}
+				}
+				codes[r] = code
+			}
+			return nil
+		}
+		gmin := make([]float64, ft.nb)
+		gmax := make([]float64, ft.nb)
+		for i := range gmin {
+			gmin[i] = math.Inf(1)
+			gmax[i] = math.Inf(-1)
+		}
+		for i, v := range ch.Data {
+			r := ch.Lo + i
+			if nulls.Get(r) || !isFinite(v) {
+				codes[r] = missingCode
+				continue
+			}
+			g := int((v - ft.lo) * ft.invCell)
+			if g < 0 {
+				g = 0
+			} else if g >= binGrid {
+				g = binGrid - 1
+			}
+			cd := ft.lut[g]
+			codes[r] = cd
+			if v < gmin[cd] {
+				gmin[cd] = v
+			}
+			if v > gmax[cd] {
+				gmax[cd] = v
+			}
+		}
+		partMin[ti], partMax[ti] = gmin, gmax
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for ti := 0; ti < nTasks; ti++ {
+		if partMin[ti] == nil {
+			continue
+		}
+		ft := &b.feats[ti/len(bounds)]
+		for c, v := range partMin[ti] {
+			if v < ft.binMin[c] {
+				ft.binMin[c] = v
+			}
+			if partMax[ti][c] > ft.binMax[c] {
+				ft.binMax[c] = partMax[ti][c]
+			}
+		}
+	}
+
+	statW := 3
+	if b.cfg.Task == Classification {
+		statW = b.nClasses
+	}
+	b.off = make([]int, nf+1)
+	maxNb := 0
+	for fi := range b.feats {
+		b.off[fi+1] = b.off[fi] + b.feats[fi].nb*statW
+		if b.feats[fi].nb > maxNb {
+			maxNb = b.feats[fi].nb
+		}
+	}
+	b.histLen = b.off[nf]
+	slots := b.workers
+	if slots > nf {
+		slots = nf
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	b.scratch = make([]*binScratch, slots)
+	for w := range b.scratch {
+		b.scratch[w] = newBinScratch(b.nClasses, maxNb)
+	}
+	return nil
+}
+
+// buildQuantizer derives a feature's byte quantizer from a stride
+// sample: sort the sample, spread a binGrid-cell uniform grid over its
+// range, and group grid cells into at most Config.Bins bins of roughly
+// equal sample mass (every bin holds at least one sample point, hence
+// at least one training row).
+func (b *binnedBuilder) buildQuantizer(ft *binFeat, c *frame.Column) {
+	stride := b.n / binSample
+	if stride < 1 {
+		stride = 1
+	}
+	sample := make([]float64, 0, binSample+1)
+	for r := 0; r < b.n; r += stride {
+		if !c.Missing(r) {
+			sample = append(sample, c.Data[r])
+		}
+	}
+	if len(sample) == 0 {
+		ft.nb = 0
+		return
+	}
+	slices.Sort(sample)
+	lo, hi := sample[0], sample[len(sample)-1]
+	ft.lo = lo
+	ft.lut = make([]uint8, binGrid)
+	if hi == lo {
+		ft.nb = 1
+		ft.invCell = 0
+	} else {
+		ft.invCell = float64(binGrid) / (hi - lo)
+		cellCnt := make([]int32, binGrid)
+		for _, v := range sample {
+			g := int((v - lo) * ft.invCell)
+			if g >= binGrid {
+				g = binGrid - 1
+			}
+			cellCnt[g]++
+		}
+		m := len(sample)
+		bins := b.cfg.Bins
+		bin, cum, lastCum := 0, 0, 0
+		for j := 0; j < binGrid; j++ {
+			cum += int(cellCnt[j])
+			ft.lut[j] = uint8(bin)
+			// Close the bin once it holds its share of the sample mass;
+			// cum > lastCum keeps every bin non-empty, cum < m keeps
+			// mass on the right of every boundary.
+			if bin < bins-1 && cum > lastCum && cum < m && cum*bins >= (bin+1)*m {
+				bin++
+				lastCum = cum
+			}
+		}
+		ft.nb = bin + 1
+	}
+	ft.binMin = make([]float64, ft.nb)
+	ft.binMax = make([]float64, ft.nb)
+	for i := range ft.binMin {
+		ft.binMin[i] = math.Inf(1)
+		ft.binMax[i] = math.Inf(-1)
+	}
+}
+
+// rootAgg aggregates the full response.
+func (b *binnedBuilder) rootAgg() nodeAgg {
+	if b.cfg.Task == Regression {
+		var sum, sq float64
+		for _, v := range b.y {
+			sum += v
+			sq += v * v
+		}
+		return nodeAgg{n: float64(b.n), sum: sum, sq: sq}
+	}
+	counts := make([]float64, b.nClasses)
+	for _, v := range b.y {
+		counts[int(v)]++
+	}
+	return nodeAgg{n: float64(b.n), counts: counts}
+}
+
+// makeNode materializes a node from its aggregates, mirroring the exact
+// engine's per-node statistics.
+func (b *binnedBuilder) makeNode(a nodeAgg) *Node {
+	n := &Node{N: int(a.n), Feature: -1, LeafID: -1}
+	if b.cfg.Task == Regression {
+		mean := a.sum / a.n
+		n.Value = mean
+		n.Impurity = a.sq - a.sum*mean
+		if n.Impurity < 0 {
+			n.Impurity = 0
+		}
+		return n
+	}
+	n.ClassCounts = a.counts
+	best, bestC := -1.0, 0
+	ss := 0.0
+	for c, cnt := range a.counts {
+		if cnt > best {
+			best, bestC = cnt, c
+		}
+		p := cnt / a.n
+		ss += p * p
+	}
+	n.Value = float64(bestC)
+	n.Impurity = a.n * (1 - ss)
+	if n.Impurity < 0 {
+		n.Impurity = 0
+	}
+	return n
+}
+
+// grow recursively splits the node owning perm[lo:hi]. hist is the
+// node's histogram set; ownership transfers here and the buffer is
+// recycled or subtracted in place into a child's histogram.
+func (b *binnedBuilder) grow(n *Node, agg nodeAgg, lo, hi int, hist []float64, depth int) {
+	if depth >= b.cfg.MaxDepth || n.N < b.cfg.MinSplit || n.Impurity <= 1e-12 {
+		b.putHist(hist)
+		return
+	}
+	sp, ok := b.bestSplit(hist)
+	minGain := 0.0
+	if b.cfg.CP > 0 {
+		minGain = b.cfg.CP * b.rootImpurity
+	}
+	if !ok || sp.gain < minGain {
+		b.putHist(hist)
+		return
+	}
+	n.Feature = sp.feature
+	n.Threshold = sp.threshold
+	n.LeftSet = sp.leftSet
+	b.tree.importanceRaw[sp.feature] += sp.gain
+
+	lagg, ragg := b.childAggs(n, agg, sp)
+	n.Left = b.makeNode(lagg)
+	n.Right = b.makeNode(ragg)
+
+	// Children that can never split need no row range: their statistics
+	// came from the split aggregates, so the partition (and both child
+	// histograms) can be skipped outright.
+	d1 := depth + 1
+	growL := d1 < b.cfg.MaxDepth && n.Left.N >= b.cfg.MinSplit && n.Left.Impurity > 1e-12
+	growR := d1 < b.cfg.MaxDepth && n.Right.N >= b.cfg.MinSplit && n.Right.Impurity > 1e-12
+	if !growL && !growR {
+		b.putHist(hist)
+		return
+	}
+	mid := b.partition(n, sp, lo, hi, n.Left.N)
+	switch {
+	case growL && growR:
+		// Build the smaller child's histograms; the sibling's follow by
+		// subtraction, reusing the parent's buffer in place.
+		if n.Left.N <= n.Right.N {
+			lh := b.getHist()
+			b.buildHist(lo, mid, lh)
+			subtractHist(hist, lh)
+			b.grow(n.Left, lagg, lo, mid, lh, d1)
+			b.grow(n.Right, ragg, mid, hi, hist, d1)
+		} else {
+			rh := b.getHist()
+			b.buildHist(mid, hi, rh)
+			subtractHist(hist, rh)
+			b.grow(n.Left, lagg, lo, mid, hist, d1)
+			b.grow(n.Right, ragg, mid, hi, rh, d1)
+		}
+	case growL:
+		lh := b.getHist()
+		b.buildHist(lo, mid, lh)
+		b.putHist(hist)
+		b.grow(n.Left, lagg, lo, mid, lh, d1)
+	default:
+		rh := b.getHist()
+		b.buildHist(mid, hi, rh)
+		b.putHist(hist)
+		b.grow(n.Right, ragg, mid, hi, rh, d1)
+	}
+}
+
+func (b *binnedBuilder) getHist() []float64 {
+	if k := len(b.pool); k > 0 {
+		h := b.pool[k-1]
+		b.pool = b.pool[:k-1]
+		clear(h)
+		return h
+	}
+	return make([]float64, b.histLen)
+}
+
+func (b *binnedBuilder) putHist(h []float64) {
+	if h != nil {
+		b.pool = append(b.pool, h)
+	}
+}
+
+func subtractHist(parent, child []float64) {
+	for i, v := range child {
+		parent[i] -= v
+	}
+}
+
+// buildHist accumulates per-feature histograms over perm[lo:hi], fanned
+// across the pool one feature per task. Counts exclude missing cells
+// (available-case splitting); the stable partition keeps perm monotone
+// inside the range, so the gathers stream forward through the arrays.
+func (b *binnedBuilder) buildHist(lo, hi int, h []float64) {
+	// A canceled context leaves some blocks zero; the scans then find
+	// nothing and growth stops, and fitBinned reports ctx.Err().
+	_ = parallel.ForEachWorker(b.ctx, b.cfg.Workers, len(b.codes), func(w, fi int) error {
+		o := b.off[fi]
+		width := b.off[fi+1] - o
+		if width == 0 {
+			return nil
+		}
+		block := h[o : o+width]
+		codes := b.codes[fi]
+		if b.cfg.Task == Regression {
+			for i := lo; i < hi; i++ {
+				r := b.perm[i]
+				c := codes[r]
+				if c == missingCode {
+					continue
+				}
+				yv := b.y[r]
+				p := 3 * int(c)
+				block[p]++
+				block[p+1] += yv
+				block[p+2] += yv * yv
+			}
+			return nil
+		}
+		k := b.nClasses
+		for i := lo; i < hi; i++ {
+			r := b.perm[i]
+			c := codes[r]
+			if c == missingCode {
+				continue
+			}
+			block[int(c)*k+int(b.y[r])]++
+		}
+		return nil
+	})
+}
+
+// bestSplit scans every feature's histogram for the impurity-minimizing
+// split. Features scan concurrently; the winner is reduced in feature
+// order with a strict greater-than on gain, the exact engine's
+// tie-break.
+func (b *binnedBuilder) bestSplit(hist []float64) (bsplit, bool) {
+	err := parallel.ForEachWorker(b.ctx, b.cfg.Workers, len(b.codes), func(w, fi int) error {
+		if b.feats[fi].nb < 2 {
+			b.featOK[fi] = false
+			return nil
+		}
+		block := hist[b.off[fi]:b.off[fi+1]]
+		if b.tree.Features[fi].Kind == frame.Nominal {
+			b.featSplit[fi], b.featOK[fi] = b.bestNominalBinned(b.scratch[w], fi, block)
+		} else {
+			b.featSplit[fi], b.featOK[fi] = b.bestNumericBinned(b.scratch[w], fi, block)
+		}
+		return nil
+	})
+	best := bsplit{feature: -1}
+	if err != nil {
+		return best, false // canceled: stop growing everywhere
+	}
+	for fi := range b.featSplit {
+		if b.featOK[fi] && b.featSplit[fi].gain > best.gain {
+			best = b.featSplit[fi]
+		}
+	}
+	return best, best.feature >= 0
+}
+
+// bestNumericBinned scans a continuous or ordinal feature's bins in
+// value order, evaluating a split at every boundary between occupied
+// bins — for ordinals (one level, one bin) exactly the positions the
+// exact engine's sorted-row scan evaluates.
+func (b *binnedBuilder) bestNumericBinned(sc *binScratch, fi int, block []float64) (bsplit, bool) {
+	ft := &b.feats[fi]
+	minLeaf := float64(b.cfg.MinLeaf)
+	if b.cfg.Task == Regression {
+		var nf, sf, qf float64
+		for c := 0; c < ft.nb; c++ {
+			nf += block[3*c]
+			sf += block[3*c+1]
+			qf += block[3*c+2]
+		}
+		if nf < 2*minLeaf || nf < 2 {
+			return bsplit{}, false
+		}
+		parentImp := qf - sf*sf/nf
+		var accN, accS, accQ float64
+		bestGain := 0.0
+		bestPrev, bestNext := -1, -1
+		var bn, bs, bq float64
+		prev := -1
+		for c := 0; c < ft.nb; c++ {
+			cnt := block[3*c]
+			if cnt == 0 {
+				continue
+			}
+			if prev >= 0 && accN >= minLeaf && nf-accN >= minLeaf {
+				nl, nr := accN, nf-accN
+				childImp := (accQ - accS*accS/nl) +
+					((qf - accQ) - (sf-accS)*(sf-accS)/nr)
+				if g := parentImp - childImp; g > bestGain {
+					bestGain = g
+					bestPrev, bestNext = prev, c
+					bn, bs, bq = accN, accS, accQ
+				}
+			}
+			accN += cnt
+			accS += block[3*c+1]
+			accQ += block[3*c+2]
+			prev = c
+		}
+		if bestPrev < 0 || bestGain <= 0 {
+			return bsplit{}, false
+		}
+		thr := (ft.binMax[bestPrev] + ft.binMin[bestNext]) / 2
+		return bsplit{
+			feature: fi, bin: bestPrev, threshold: thr, gain: bestGain,
+			nl: bn, sl: bs, ql: bq, nf: nf, sf: sf, qf: qf,
+		}, true
+	}
+
+	k := b.nClasses
+	total := sc.total[:k]
+	left := sc.left[:k]
+	for j := range total {
+		total[j] = 0
+		left[j] = 0
+	}
+	var nf float64
+	for c := 0; c < ft.nb; c++ {
+		for j := 0; j < k; j++ {
+			total[j] += block[c*k+j]
+		}
+	}
+	for _, v := range total {
+		nf += v
+	}
+	if nf < 2*minLeaf || nf < 2 {
+		return bsplit{}, false
+	}
+	parentImp := giniSSE(total, nf)
+	var accN float64
+	bestGain := 0.0
+	bestPrev, bestNext := -1, -1
+	prev := -1
+	for c := 0; c < ft.nb; c++ {
+		var cnt float64
+		for j := 0; j < k; j++ {
+			cnt += block[c*k+j]
+		}
+		if cnt == 0 {
+			continue
+		}
+		if prev >= 0 && accN >= minLeaf && nf-accN >= minLeaf {
+			childImp := giniFromLeft(left, total, sc.right[:k], accN, nf-accN)
+			if g := parentImp - childImp; g > bestGain {
+				bestGain = g
+				bestPrev, bestNext = prev, c
+				copy(sc.bestLeft, left)
+			}
+		}
+		for j := 0; j < k; j++ {
+			left[j] += block[c*k+j]
+		}
+		accN += cnt
+		prev = c
+	}
+	if bestPrev < 0 || bestGain <= 0 {
+		return bsplit{}, false
+	}
+	thr := (ft.binMax[bestPrev] + ft.binMin[bestNext]) / 2
+	return bsplit{
+		feature: fi, bin: bestPrev, threshold: thr, gain: bestGain,
+		leftCounts: append([]float64(nil), sc.bestLeft[:k]...),
+		totCounts:  append([]float64(nil), total...),
+	}, true
+}
+
+// bestNominalBinned runs the optimal category-ordering scan (sort
+// levels by mean response, or by first-class proportion, and scan
+// boundaries) directly over the level histogram — the same search the
+// exact engine performs, computed from aggregates.
+func (b *binnedBuilder) bestNominalBinned(sc *binScratch, fi int, block []float64) (bsplit, bool) {
+	ft := &b.feats[fi]
+	nLevels := ft.nb
+	minLeaf := float64(b.cfg.MinLeaf)
+	score := sc.score[:nLevels]
+	present := sc.present[:0]
+	defer func() { sc.present = present[:0] }()
+
+	if b.cfg.Task == Regression {
+		var nf, sf, qf float64
+		for c := 0; c < nLevels; c++ {
+			cnt := block[3*c]
+			nf += cnt
+			sf += block[3*c+1]
+			qf += block[3*c+2]
+			if cnt > 0 {
+				present = append(present, c)
+				score[c] = block[3*c+1] / cnt
+			}
+		}
+		if nf < 2*minLeaf || nf < 2 || len(present) < 2 {
+			return bsplit{}, false
+		}
+		slices.SortFunc(present, func(a, c int) int {
+			switch {
+			case score[a] < score[c]:
+				return -1
+			case score[a] > score[c]:
+				return 1
+			}
+			return 0
+		})
+		parentImp := qf - sf*sf/nf
+		var accN, accS, accQ float64
+		bestGain := 0.0
+		bestCut := -1
+		var bn, bs, bq float64
+		for ki := 0; ki < len(present)-1; ki++ {
+			c := present[ki]
+			accN += block[3*c]
+			accS += block[3*c+1]
+			accQ += block[3*c+2]
+			nl, nr := accN, nf-accN
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			childImp := (accQ - accS*accS/nl) +
+				((qf - accQ) - (sf-accS)*(sf-accS)/nr)
+			if g := parentImp - childImp; g > bestGain {
+				bestGain, bestCut = g, ki
+				bn, bs, bq = accN, accS, accQ
+			}
+		}
+		if bestCut < 0 || bestGain <= 0 {
+			return bsplit{}, false
+		}
+		set := make([]uint64, (nLevels+63)/64)
+		for ki := 0; ki <= bestCut; ki++ {
+			c := present[ki]
+			set[c/64] |= 1 << (uint(c) % 64)
+		}
+		return bsplit{
+			feature: fi, leftSet: set, gain: bestGain,
+			nl: bn, sl: bs, ql: bq, nf: nf, sf: sf, qf: qf,
+		}, true
+	}
+
+	k := b.nClasses
+	total := sc.total[:k]
+	left := sc.left[:k]
+	for j := range total {
+		total[j] = 0
+		left[j] = 0
+	}
+	var nf float64
+	for c := 0; c < nLevels; c++ {
+		var cnt float64
+		for j := 0; j < k; j++ {
+			cnt += block[c*k+j]
+			total[j] += block[c*k+j]
+		}
+		nf += cnt
+		if cnt > 0 {
+			present = append(present, c)
+			score[c] = block[c*k] / cnt // first-class proportion
+		}
+	}
+	if nf < 2*minLeaf || nf < 2 || len(present) < 2 {
+		return bsplit{}, false
+	}
+	slices.SortFunc(present, func(a, c int) int {
+		switch {
+		case score[a] < score[c]:
+			return -1
+		case score[a] > score[c]:
+			return 1
+		}
+		return 0
+	})
+	parentImp := giniSSE(total, nf)
+	var accN float64
+	bestGain := 0.0
+	bestCut := -1
+	for ki := 0; ki < len(present)-1; ki++ {
+		c := present[ki]
+		var cnt float64
+		for j := 0; j < k; j++ {
+			left[j] += block[c*k+j]
+			cnt += block[c*k+j]
+		}
+		accN += cnt
+		nl, nr := accN, nf-accN
+		if nl < minLeaf || nr < minLeaf {
+			continue
+		}
+		childImp := giniFromLeft(left, total, sc.right[:k], nl, nr)
+		if g := parentImp - childImp; g > bestGain {
+			bestGain, bestCut = g, ki
+			copy(sc.bestLeft, left)
+		}
+	}
+	if bestCut < 0 || bestGain <= 0 {
+		return bsplit{}, false
+	}
+	set := make([]uint64, (nLevels+63)/64)
+	for ki := 0; ki <= bestCut; ki++ {
+		c := present[ki]
+		set[c/64] |= 1 << (uint(c) % 64)
+	}
+	return bsplit{
+		feature: fi, leftSet: set, gain: bestGain,
+		leftCounts: append([]float64(nil), sc.bestLeft[:k]...),
+		totCounts:  append([]float64(nil), total...),
+	}, true
+}
+
+// childAggs derives both children's aggregates from the parent's and
+// the winning split's finite-case aggregates: missing rows are the
+// difference between the parent and the split feature's finite total,
+// and they follow the majority (finite) child, matching the exact
+// engine's partition. Sets n.DefaultLeft.
+func (b *binnedBuilder) childAggs(n *Node, parent nodeAgg, sp bsplit) (l, r nodeAgg) {
+	if b.cfg.Task == Regression {
+		missN := parent.n - sp.nf
+		missS := parent.sum - sp.sf
+		missQ := parent.sq - sp.qf
+		n.DefaultLeft = sp.nl >= sp.nf-sp.nl
+		l = nodeAgg{n: sp.nl, sum: sp.sl, sq: sp.ql}
+		if n.DefaultLeft {
+			l.n += missN
+			l.sum += missS
+			l.sq += missQ
+		}
+		r = nodeAgg{n: parent.n - l.n, sum: parent.sum - l.sum, sq: parent.sq - l.sq}
+		return l, r
+	}
+	k := b.nClasses
+	lc := make([]float64, k)
+	var fl, fr float64
+	for j := 0; j < k; j++ {
+		lc[j] = sp.leftCounts[j]
+		fl += sp.leftCounts[j]
+		fr += sp.totCounts[j] - sp.leftCounts[j]
+	}
+	n.DefaultLeft = fl >= fr
+	if n.DefaultLeft {
+		for j := 0; j < k; j++ {
+			lc[j] += parent.counts[j] - sp.totCounts[j]
+		}
+	}
+	rc := make([]float64, k)
+	var ln, rn float64
+	for j := 0; j < k; j++ {
+		rc[j] = parent.counts[j] - lc[j]
+		ln += lc[j]
+		rn += rc[j]
+	}
+	l = nodeAgg{n: ln, counts: lc}
+	r = nodeAgg{n: rn, counts: rc}
+	return l, r
+}
+
+// partition stably scatters perm[lo:hi] into [left | right] by byte
+// code through a 256-entry route table, so the row scan is branch-free.
+// Missing rows (code 255) follow DefaultLeft. Returns the boundary.
+func (b *binnedBuilder) partition(n *Node, sp bsplit, lo, hi, leftN int) int {
+	var tab [256]uint8
+	if b.tree.Features[sp.feature].Kind == frame.Nominal {
+		for c := 0; c < b.feats[sp.feature].nb; c++ {
+			if n.inLeftSet(c) {
+				tab[c] = 1
+			}
+		}
+	} else {
+		for c := 0; c <= sp.bin; c++ {
+			tab[c] = 1
+		}
+	}
+	if n.DefaultLeft {
+		tab[missingCode] = 1
+	}
+	codes := b.codes[sp.feature]
+	tmp := b.permTmp
+	l, rr := lo, lo+leftN
+	for i := lo; i < hi; i++ {
+		row := b.perm[i]
+		t := int(tab[codes[row]])
+		mask := -t // t==1: all ones selects the left cursor
+		pos := (l & mask) | (rr &^ mask)
+		tmp[pos] = row
+		l += t
+		rr += 1 - t
+	}
+	copy(b.perm[lo:hi], tmp[lo:hi])
+	return lo + leftN
+}

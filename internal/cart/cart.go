@@ -20,13 +20,23 @@
 //   - leaf extraction and row→leaf assignment, which the paper uses to
 //     cluster racks with similar failure behaviour (Q1).
 //
-// Performance model: each continuous/ordinal feature is sorted once per
-// Fit; child nodes inherit the sorted order by a stable in-place
-// partition (rank filtering) instead of re-sorting, and the per-node
-// split search fans the candidate features across a bounded worker pool
-// (Config.Workers). Trees are byte-identical for every worker count: the
-// winning split is reduced in feature order with the same strict
-// impurity tie-break the serial scan applies.
+// Performance model: two split-search engines share one growing loop.
+// The exact engine sorts each continuous/ordinal feature once per Fit;
+// child nodes inherit the sorted order by a stable in-place partition
+// (rank filtering) instead of re-sorting. The histogram-binned engine
+// (LightGBM-style) engages automatically at fleet scale (Config.Split,
+// AutoBinRows): continuous features are quantized once to at most
+// Config.Bins quantile bins, nodes accumulate per-bin statistics and
+// scan bins instead of rows, and each child's histogram is built from
+// the smaller side and subtracted from the parent's for the sibling.
+// Nominal and ordinal features use their level sets as bins, so their
+// search stays exact in either engine. Null bitmaps on frame columns
+// are honored natively: bitmap-marked cells code to the missing
+// sentinel without materializing NaNs. In both engines the per-node
+// search fans the candidate features across a bounded worker pool
+// (Config.Workers), and trees are byte-identical for every worker
+// count: the winning split is reduced in feature order with the same
+// strict impurity tie-break the serial scan applies.
 package cart
 
 import (
@@ -51,6 +61,40 @@ const (
 	Classification
 )
 
+// SplitMethod selects the split-search engine.
+type SplitMethod int
+
+const (
+	// SplitAuto (the zero value) picks the engine by training size:
+	// exact below AutoBinRows rows, binned at or above. Small fits —
+	// everything the paper-scale pipelines feed through Q1/Q2 — keep
+	// the exact engine and stay byte-identical with earlier releases.
+	SplitAuto SplitMethod = iota
+	// SplitExact forces the presort-based exact search.
+	SplitExact
+	// SplitBinned forces the histogram-binned search. Continuous
+	// features are quantized to at most Config.Bins quantile bins;
+	// nominal and ordinal features use their level sets as bins, which
+	// keeps their search exact. Falls back to the exact engine when any
+	// categorical feature has more than 255 levels (the level index
+	// must fit a byte alongside the missing sentinel).
+	SplitBinned
+)
+
+const (
+	// DefaultBins is the bin budget per continuous feature when
+	// Config.Bins is zero: the largest count a byte code can address
+	// once 255 is reserved for missing cells.
+	DefaultBins = 255
+	// AutoBinRows is the training size at which SplitAuto switches
+	// from exact to binned search: 4 full frame chunks, past which the
+	// O(n log n) presort and per-node O(n) scans dominate fit time.
+	AutoBinRows = 4 * frame.ChunkRows
+	// missingCode is the reserved byte code for missing feature cells
+	// in the binned engine.
+	missingCode = 255
+)
+
 // Config holds the stopping and growth rules.
 type Config struct {
 	Task Task
@@ -71,6 +115,13 @@ type Config struct {
 	// 1 forces the serial path. The fitted tree is byte-identical for
 	// every worker count.
 	Workers int
+	// Split selects the split-search engine; see SplitMethod. The zero
+	// value (SplitAuto) switches by training size at AutoBinRows.
+	Split SplitMethod
+	// Bins caps the number of histogram bins per continuous feature in
+	// the binned engine. Zero means DefaultBins; values are clamped to
+	// [2, 255]. Ignored by the exact engine.
+	Bins int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +139,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CP == 0 {
 		c.CP = 0.01
+	}
+	if c.Bins == 0 {
+		c.Bins = DefaultBins
+	}
+	if c.Bins < 2 {
+		c.Bins = 2
+	}
+	if c.Bins > 255 {
+		c.Bins = 255
 	}
 	return c
 }
@@ -169,14 +229,16 @@ func FitContext(ctx context.Context, f *frame.Frame, target string, features []s
 		return nil, err
 	}
 	t := &Tree{Target: target, Task: cfg.Task}
-	// Materialize the target.
+	// Materialize the target. Missing targets — non-finite values or
+	// ingest null marks alike — are an error: a row without a response
+	// cannot train.
 	var y []float64
 	switch cfg.Task {
 	case Regression:
 		y = tc.Data
-		for i, v := range y {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("cart: non-finite target at row %d", i)
+		for i := range y {
+			if tc.Missing(i) {
+				return nil, fmt.Errorf("cart: missing target at row %d", i)
 			}
 		}
 	case Classification:
@@ -184,12 +246,17 @@ func FitContext(ctx context.Context, f *frame.Frame, target string, features []s
 			return nil, fmt.Errorf("cart: classification target %q must be categorical", target)
 		}
 		y = tc.Data
+		for i := range y {
+			if tc.Missing(i) {
+				return nil, fmt.Errorf("cart: missing target at row %d", i)
+			}
+		}
 		t.ClassLevels = tc.Levels
 	default:
 		return nil, fmt.Errorf("cart: unknown task %d", cfg.Task)
 	}
 	// Materialize features.
-	cols := make([][]float64, len(features))
+	colRefs := make([]*frame.Column, len(features))
 	for i, name := range features {
 		c, err := f.Col(name)
 		if err != nil {
@@ -198,13 +265,23 @@ func FitContext(ctx context.Context, f *frame.Frame, target string, features []s
 		if name == target {
 			return nil, fmt.Errorf("cart: target %q used as feature", name)
 		}
-		// Non-finite feature cells are legal: they are missing values,
-		// handled by available-case splitting and majority-side routing.
-		cols[i] = c.Data
+		// Missing feature cells are legal: they are handled by
+		// available-case splitting and majority-side routing.
+		colRefs[i] = c
 		t.Features = append(t.Features, Feature{Name: name, Kind: c.Kind, Levels: c.Levels})
 	}
 	t.importanceRaw = make([]float64, len(features))
 
+	if chooseBinned(cfg, f.NumRows(), t.Features) {
+		return fitBinned(ctx, cfg, t, colRefs, y)
+	}
+
+	// Exact engine: flatten each feature to a dense value slice, with
+	// null-marked cells surfaced as the NaN sentinel the scans expect.
+	cols := make([][]float64, len(colRefs))
+	for i, c := range colRefs {
+		cols[i] = materializeMissing(c)
+	}
 	b := &builder{cfg: cfg, ctx: ctx, tree: t, y: y, cols: cols}
 	if cfg.Task == Classification {
 		b.nClasses = len(t.ClassLevels)
@@ -506,6 +583,46 @@ func (b *builder) partition(n *Node, rows nodeRows) (left, right nodeRows) {
 // isFinite reports whether a feature cell carries a usable value.
 func isFinite(v float64) bool {
 	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// chooseBinned decides whether the fit runs on the histogram-binned
+// engine. Structural limit: every categorical level index must fit a
+// byte code next to the missing sentinel, else the exact engine runs
+// regardless of the requested method.
+func chooseBinned(cfg Config, rows int, feats []Feature) bool {
+	switch cfg.Split {
+	case SplitExact:
+		return false
+	case SplitBinned:
+	default: // SplitAuto
+		if rows < AutoBinRows {
+			return false
+		}
+	}
+	for _, ft := range feats {
+		if len(ft.Levels) > missingCode {
+			return false
+		}
+	}
+	return true
+}
+
+// materializeMissing returns the column's dense values with null-marked
+// cells replaced by NaN, the sentinel the exact scans and the predict
+// routers understand. Columns without null marks alias their storage
+// unchanged; the caller never mutates the result.
+func materializeMissing(c *frame.Column) []float64 {
+	if !c.HasNulls() {
+		return c.Data
+	}
+	nulls := c.Nulls()
+	out := append([]float64(nil), c.Data...)
+	for i := range out {
+		if nulls.Get(i) {
+			out[i] = math.NaN()
+		}
+	}
+	return out
 }
 
 func routeLeft(kind frame.Kind, n *Node, v float64) bool {
@@ -1032,7 +1149,9 @@ func (t *Tree) featureCols(f *frame.Frame) ([][]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		cols[i] = c.Data
+		// Null-marked cells route like any other missing value (majority
+		// child), so surface them as the NaN sentinel leafFor checks.
+		cols[i] = materializeMissing(c)
 	}
 	return cols, nil
 }

@@ -84,7 +84,14 @@ func EventsJSONL(w io.Writer, events []simulate.Event) error {
 }
 
 // FrameCSV writes any frame as CSV, rendering categorical columns as
-// their level labels.
+// their level labels. Missing cells — null-bitmap marks as well as
+// non-finite floats — render as "NaN" in continuous columns and as
+// "NA" in categorical ones, the forms ReadFrameCSV maps back onto the
+// null bitmap. ("NA" rather than an empty field: a lone empty cell
+// would serialize a single-column frame's row as a blank line, which
+// encoding/csv readers silently drop.) A raw value hiding behind a
+// null mark is deliberately not exported: missing is missing at the
+// interchange boundary.
 func FrameCSV(w io.Writer, f *frame.Frame) error {
 	cw := csv.NewWriter(w)
 	names := f.Names()
@@ -102,9 +109,14 @@ func FrameCSV(w io.Writer, f *frame.Frame) error {
 	rec := make([]string, len(cols))
 	for r := 0; r < f.NumRows(); r++ {
 		for i, c := range cols {
-			if c.Kind == frame.Continuous {
+			switch {
+			case c.Kind == frame.Continuous && c.Missing(r):
+				rec[i] = "NaN"
+			case c.Kind == frame.Continuous:
 				rec[i] = strconv.FormatFloat(c.Data[r], 'g', -1, 64)
-			} else {
+			case c.Missing(r):
+				rec[i] = "NA"
+			default:
 				rec[i] = c.LevelOf(c.Data[r])
 			}
 		}

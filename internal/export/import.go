@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -17,8 +19,11 @@ import (
 // an operator's own telemetry) into a frame. Column kinds are inferred:
 // a column whose every value parses as a float becomes continuous,
 // anything else becomes nominal with levels built from the distinct
-// strings. This is the bring-your-own-data entry point: a real failure
-// dataset in this shape can be fed straight into the MF analyses.
+// strings. Empty cells and the conventional "NA" token are nulls: they
+// land in the column's bitmap without voting on the column's kind (a
+// column of nothing but nulls infers continuous, all-null). This is
+// the bring-your-own-data entry point: a real failure dataset in this
+// shape can be fed straight into the MF analyses.
 func ReadFrameCSV(r io.Reader) (*frame.Frame, error) {
 	cr := csv.NewReader(r)
 	records, err := cr.ReadAll()
@@ -42,10 +47,16 @@ func ReadFrameCSV(r io.Reader) (*frame.Frame, error) {
 			return nil, fmt.Errorf("export: empty column name at position %d", c)
 		}
 		values := make([]string, len(rows))
+		var nullRows []int
 		numeric := true
 		floats := make([]float64, len(rows))
 		for r, rec := range rows {
 			values[r] = rec[c]
+			if rec[c] == "" || rec[c] == "NA" {
+				nullRows = append(nullRows, r)
+				floats[r] = math.NaN()
+				continue
+			}
 			if numeric {
 				v, err := strconv.ParseFloat(rec[c], 64)
 				if err != nil {
@@ -59,13 +70,48 @@ func ReadFrameCSV(r io.Reader) (*frame.Frame, error) {
 			if err := f.AddContinuous(name, floats); err != nil {
 				return nil, err
 			}
+			markNulls(f.MustCol(name), nullRows)
 			continue
 		}
-		if err := f.AddNominalStrings(name, values); err != nil {
+		// Nominal: levels come from the distinct non-empty strings, in
+		// sorted order; null rows get a placeholder code that SetMissing
+		// immediately overwrites.
+		set := map[string]bool{}
+		for _, v := range values {
+			if v != "" {
+				set[v] = true
+			}
+		}
+		levels := make([]string, 0, len(set))
+		for l := range set {
+			levels = append(levels, l)
+		}
+		sort.Strings(levels)
+		lookup := make(map[string]int, len(levels))
+		for i, l := range levels {
+			lookup[l] = i
+		}
+		codes := make([]int, len(rows))
+		for r, v := range values {
+			if v != "" {
+				codes[r] = lookup[v]
+			}
+		}
+		if err := f.AddNominalInts(name, codes, levels); err != nil {
 			return nil, err
 		}
+		markNulls(f.MustCol(name), nullRows)
 	}
 	return f, nil
+}
+
+// markNulls records the quarantined rows in a freshly built column's
+// bitmap. The column belongs to the frame this importer constructed, so
+// the in-place marking is on owned storage.
+func markNulls(c *frame.Column, rows []int) {
+	for _, r := range rows {
+		c.SetMissing(r)
+	}
 }
 
 // ticketColumns is the TicketsCSV schema, in writer order.

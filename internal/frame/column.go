@@ -1,0 +1,108 @@
+package frame
+
+import (
+	"fmt"
+	"math"
+)
+
+// Column is one typed dense column. For Continuous columns Data holds
+// raw values; for Nominal/Ordinal columns Data holds level indices into
+// Levels. Missing cells are carried two ways, and a cell is missing if
+// either marks it:
+//
+//   - a non-finite value (NaN/±Inf) in Data — the legacy sentinel every
+//     import path can produce;
+//   - a set bit in the null bitmap — the explicit marking the ingest
+//     quarantine/repair pipeline writes, which can coexist with a
+//     finite (suspect) raw value kept for forensics.
+type Column struct {
+	Name   string
+	Kind   Kind
+	Data   []float64
+	Levels []string // nil for Continuous
+
+	// nulls marks cells quarantined by ingest; nil means none.
+	nulls *Bitmap
+}
+
+// LevelOf returns the level string for a value of a categorical column.
+// Continuous values format as numbers. A categorical value whose level
+// index is out of range is corrupted data and returns the marked form
+// "<invalid:i>" so it surfaces in reports instead of masquerading as a
+// measurement.
+func (c *Column) LevelOf(v float64) string {
+	if c.Kind == Continuous {
+		return fmt.Sprintf("%g", v)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v != math.Trunc(v) {
+		return fmt.Sprintf("<invalid:%g>", v)
+	}
+	i := int(v)
+	if i < 0 || i >= len(c.Levels) {
+		return fmt.Sprintf("<invalid:%d>", i)
+	}
+	return c.Levels[i]
+}
+
+// MarkNull sets the null bit for row i, leaving Data untouched so the
+// quarantined raw value stays inspectable. Analyses that honor the
+// bitmap treat the cell as missing regardless of the stored value.
+func (c *Column) MarkNull(i int) {
+	if c.nulls == nil {
+		c.nulls = NewBitmap(len(c.Data))
+	}
+	c.nulls.Set(i)
+}
+
+// SetMissing marks row i null and overwrites Data[i] with NaN, the
+// sentinel legacy consumers that read Data directly understand.
+func (c *Column) SetMissing(i int) {
+	c.MarkNull(i)
+	c.Data[i] = math.NaN()
+}
+
+// Missing reports whether the cell at row i is unusable: null-marked or
+// non-finite.
+func (c *Column) Missing(i int) bool {
+	if c.nulls.Get(i) {
+		return true
+	}
+	v := c.Data[i]
+	return math.IsNaN(v) || math.IsInf(v, 0)
+}
+
+// HasNulls reports whether any cell carries an explicit null mark. It
+// deliberately ignores NaN sentinels; use MissingCount for the union.
+func (c *Column) HasNulls() bool { return c.nulls.Any() }
+
+// NullCount returns the number of explicitly null-marked cells.
+func (c *Column) NullCount() int { return c.nulls.Count() }
+
+// MissingCount returns the number of missing cells: the union of
+// null-marked and non-finite entries.
+func (c *Column) MissingCount() int {
+	total := 0
+	for i, v := range c.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) || c.nulls.Get(i) {
+			total++
+		}
+	}
+	return total
+}
+
+// Nulls returns the column's null bitmap, or nil when no cell was ever
+// marked. The bitmap is shared storage, like Data: treat it as
+// read-only unless the column is exclusively owned.
+func (c *Column) Nulls() *Bitmap { return c.nulls }
+
+// Clone returns a deep copy of the column — its own Data and null
+// bitmap — safe to mutate regardless of who else holds the original.
+func (c *Column) Clone() *Column {
+	return &Column{
+		Name:   c.Name,
+		Kind:   c.Kind,
+		Data:   append([]float64(nil), c.Data...),
+		Levels: c.Levels,
+		nulls:  c.nulls.Clone(),
+	}
+}

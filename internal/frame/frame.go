@@ -1,11 +1,19 @@
-// Package frame provides a small column-typed data frame: the tabular
-// substrate that CART, partial dependence, and every figure pipeline
-// consume.
+// Package frame provides a columnar data frame: the tabular substrate
+// that CART, partial dependence, and every figure pipeline consume.
 //
 // The paper's feature table (Table III) mixes continuous (temperature,
 // RH, age), nominal (SKU, workload, DC, rack), and ordinal (day, week,
 // month) variables; a Frame carries that type information so the tree
 // learner can treat each kind correctly.
+//
+// Storage is columnar and dense: continuous columns hold raw float64
+// values, categorical columns hold level indices coded as float64 into
+// their level table. Missing cells are marked by per-column null
+// bitmaps (populated by the ingest quarantine/repair pipeline) in
+// addition to the legacy NaN sentinel — see Column. Fleet-scale scans
+// iterate the fixed-size chunk views of Column.Chunks, whose boundaries
+// never depend on the worker count, so chunked fork-join reductions
+// stay byte-identical for every -workers.
 package frame
 
 import (
@@ -44,25 +52,6 @@ func (k Kind) String() string {
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
-}
-
-// Column is one typed column. For Continuous columns Data holds raw
-// values; for Nominal/Ordinal columns Data holds level indices into
-// Levels.
-type Column struct {
-	Name   string
-	Kind   Kind
-	Data   []float64
-	Levels []string // nil for Continuous
-}
-
-// LevelOf returns the level string for a value of a categorical column.
-func (c *Column) LevelOf(v float64) string {
-	i := int(v)
-	if c.Kind == Continuous || i < 0 || i >= len(c.Levels) {
-		return fmt.Sprintf("%g", v)
-	}
-	return c.Levels[i]
 }
 
 // Frame is a collection of equal-length columns.
@@ -234,7 +223,8 @@ func (f *Frame) Filter(keep func(row int) bool) *Frame {
 	return f.Subset(rows)
 }
 
-// Subset returns a new frame with the given row indices (copying data).
+// Subset returns a new frame with the given row indices (copying data
+// and, where present, the per-row null marks).
 func (f *Frame) Subset(rows []int) *Frame {
 	out := New(len(rows))
 	for _, c := range f.cols {
@@ -242,7 +232,16 @@ func (f *Frame) Subset(rows []int) *Frame {
 		for i, r := range rows {
 			data[i] = c.Data[r]
 		}
-		nc := Column{Name: c.Name, Kind: c.Kind, Data: data, Levels: c.Levels}
+		var nulls *Bitmap
+		if c.nulls.Any() {
+			nulls = NewBitmap(len(rows))
+			for i, r := range rows {
+				if c.nulls.Get(r) {
+					nulls.Set(i)
+				}
+			}
+		}
+		nc := Column{Name: c.Name, Kind: c.Kind, Data: data, Levels: c.Levels, nulls: nulls}
 		if err := out.add(nc); err != nil {
 			// Unreachable: source frame invariants guarantee validity.
 			panic(err)

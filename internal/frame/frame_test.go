@@ -93,8 +93,22 @@ func TestMustColPanics(t *testing.T) {
 func TestLevelOfOutOfRange(t *testing.T) {
 	f := buildTestFrame(t)
 	c := f.MustCol("sku")
-	if got := c.LevelOf(99); got != "99" {
-		t.Errorf("LevelOf(99) = %q", got)
+	// Corrupted level indices must surface as marked invalids, not
+	// format silently as numbers that masquerade as data.
+	if got := c.LevelOf(99); got != "<invalid:99>" {
+		t.Errorf("LevelOf(99) = %q, want <invalid:99>", got)
+	}
+	if got := c.LevelOf(-1); got != "<invalid:-1>" {
+		t.Errorf("LevelOf(-1) = %q, want <invalid:-1>", got)
+	}
+	if got := c.LevelOf(0.5); got != "<invalid:0.5>" {
+		t.Errorf("LevelOf(0.5) = %q, want <invalid:0.5>", got)
+	}
+	if got := c.LevelOf(math.NaN()); got != "<invalid:NaN>" {
+		t.Errorf("LevelOf(NaN) = %q, want <invalid:NaN>", got)
+	}
+	if got := c.LevelOf(1); got != "S2" {
+		t.Errorf("LevelOf(1) = %q, want S2", got)
 	}
 	cont := f.MustCol("temp")
 	if got := cont.LevelOf(60); got != "60" {

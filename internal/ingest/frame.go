@@ -41,10 +41,13 @@ func (q *FrameQuality) Coverage() float64 {
 // required columns must be present (a typed ErrMissingColumn otherwise),
 // and every non-finite cell in a continuous column is normalized to NaN
 // — the single missing-value representation the tree learner tolerates —
-// with the damage itemized per column. The input frame is modified in
-// place only by the Inf→NaN normalization; values are never invented
-// here (imputation is a sensor-stage concern, and the learner's
-// available-case handling covers sparse cells better than fake data).
+// and recorded in the column's null bitmap, so downstream consumers
+// (the binned CART engine, the exporter) can test missingness without
+// re-probing every float. The damage is itemized per column. The input
+// frame is modified in place only by this quarantine marking; values
+// are never invented here (imputation is a sensor-stage concern, and
+// the learner's available-case handling covers sparse cells better
+// than fake data).
 func SanitizeFrame(f *frame.Frame, required []string, rep *Report) (*FrameQuality, error) {
 	q := &FrameQuality{Rows: f.NumRows(), MissingCells: map[string]int{}}
 	for _, name := range required {
@@ -71,10 +74,12 @@ func SanitizeFrame(f *frame.Frame, required []string, rep *Report) (*FrameQualit
 		for i, v := range c.Data {
 			switch {
 			case math.IsInf(v, 0):
-				c.Data[i] = math.NaN()
-				missing++
 				q.InfCells++
+				fallthrough
 			case math.IsNaN(v):
+				// The in-place quarantine IS this function's documented
+				// contract: callers hand over ownership for repair.
+				c.SetMissing(i) //lint:allow frameclone sanitize owns the frame during quarantine; marking is the advertised in-place repair
 				missing++
 			}
 		}

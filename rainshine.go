@@ -146,6 +146,23 @@ func WithWorkers(n int) Option {
 	return func(c *simulate.Config) { c.Workers = n }
 }
 
+// WithBins caps the histogram bin count for the fleet-scale binned
+// CART split search (default cart.DefaultBins = 255; values are
+// clamped to [2, 255]). Fewer bins trade split resolution for speed.
+// Small studies that never trip the auto-binning row threshold are
+// unaffected. Any bin count is deterministic for any worker count.
+func WithBins(n int) Option {
+	return func(c *simulate.Config) { c.CARTBins = n }
+}
+
+// WithExactSplits forces exact (presorted) CART split search in every
+// downstream analysis, even at data sizes where the binned engine
+// would normally engage — the reference path for auditing a binned
+// result.
+func WithExactSplits() Option {
+	return func(c *simulate.Config) { c.CARTExact = true }
+}
+
 // FaultConfig sets per-class rates for the deterministic fault injector
 // (dirty-data mode): sensor dropouts and stuck-at readings, duplicate
 // and clock-skewed tickets, and damaged export cells. See
@@ -213,6 +230,17 @@ func (s *Study) Figures() *figures.Data { return s.data }
 // workers returns the study-wide worker budget (simulate.Config
 // semantics: 0 means GOMAXPROCS, 1 means serial).
 func (s *Study) workers() int { return s.data.Res.Cfg.Workers }
+
+// cartConfig assembles the tree-learner settings from the study-wide
+// options: the worker budget plus the WithBins/WithExactSplits split
+// policy.
+func (s *Study) cartConfig() cart.Config {
+	cfg := cart.Config{Workers: s.workers(), Bins: s.data.Res.Cfg.CARTBins}
+	if s.data.Res.Cfg.CARTExact {
+		cfg.Split = cart.SplitExact
+	}
+	return cfg
+}
 
 // Warmup materializes every table and figure through the study's worker
 // pool and keeps them cached, so subsequent Figures() calls are served
@@ -608,7 +636,7 @@ func (s *Study) ClimateGuidanceContext(ctx context.Context) (*ClimateReport, err
 	if err != nil {
 		return nil, err
 	}
-	res, err := envan.AnalyzeContext(ctx, f, cart.Config{Workers: s.workers()})
+	res, err := envan.AnalyzeContext(ctx, f, s.cartConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"rainshine/internal/cart"
 )
 
 var cachedStudy *Study
@@ -136,6 +138,45 @@ func TestClimateGuidanceReport(t *testing.T) {
 	}
 	if rep.Tree == nil {
 		t.Error("tree missing")
+	}
+}
+
+func TestSplitPolicyOptions(t *testing.T) {
+	s, err := NewStudy(WithSeed(7), WithDays(30), WithRacks(10, 10), WithBins(64), WithExactSplits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.cartConfig()
+	if cfg.Bins != 64 {
+		t.Errorf("cartConfig Bins = %d, want 64", cfg.Bins)
+	}
+	if cfg.Split != cart.SplitExact {
+		t.Errorf("cartConfig Split = %v, want SplitExact", cfg.Split)
+	}
+	// Defaults: auto split selection, package-default bin cap.
+	d, err := NewStudy(WithSeed(7), WithDays(30), WithRacks(10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc := d.cartConfig(); dc.Split != cart.SplitAuto || dc.Bins != 0 {
+		t.Errorf("default cartConfig = %+v", dc)
+	}
+	// The small-study Q3 path is below the auto-binning threshold, so
+	// the forced-exact study must agree with the default byte for byte.
+	re, err := s.ClimateGuidance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := NewStudy(WithSeed(7), WithDays(30), WithRacks(10, 10), WithBins(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := sd.ClimateGuidance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Tree.String() != rd.Tree.String() {
+		t.Errorf("exact vs auto small-study trees differ:\n%s\n%s", re.Tree, rd.Tree)
 	}
 }
 
