@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-fleet bench-fleet-check serve-load soak repro outputs examples fuzz clean
+.PHONY: all build vet lint test race bench bench-fleet bench-fleet-check stream-replay stream-replay-check serve-load soak repro outputs examples fuzz clean
 
 all: build vet lint test
 
@@ -50,6 +50,22 @@ bench-fleet:
 # without rewriting it.
 bench-fleet-check:
 	RAINSHINE_BENCH_FLEET=1 $(GO) test -run 'TestBenchFleet$$' -count=1 -v .
+
+# Streaming gate: the streamed-vs-batch byte-identity replay tests under
+# the race detector, then TestBenchStreamRefit, which fails unless the
+# single-day incremental refit beats a from-scratch full refit (and
+# regressed <15% vs the snapshot), merging incremental_refit_20k into
+# BENCH_analysis.json.
+stream-replay:
+	$(GO) test -race -count=1 -run 'TestStreamReplayByteIdentical' -v ./internal/stream/
+	RAINSHINE_BENCH_STREAM=1 RAINSHINE_BENCH_OUT=$(CURDIR)/BENCH_analysis.json \
+		$(GO) test -run 'TestBenchStreamRefit$$' -count=1 -v .
+
+# Gate-only variant for CI: compares against the committed snapshot
+# without rewriting it.
+stream-replay-check:
+	$(GO) test -race -count=1 -run 'TestStreamReplayByteIdentical' -v ./internal/stream/
+	RAINSHINE_BENCH_STREAM=1 $(GO) test -run 'TestBenchStreamRefit$$' -count=1 -v .
 
 # Concurrent load test against the serve daemon (32 parallel clients,
 # mixed endpoints, 3 distinct configs) under the race detector; records

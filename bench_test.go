@@ -17,6 +17,7 @@ package rainshine
 // (RAINSHINE_BENCH_OUT) for regression tracking.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -224,6 +225,84 @@ func benchCARTFit1MExact(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, err := cart.Fit(f, "y", []string{"x1", "cat"},
 			cart.Config{MaxDepth: 6, CP: 0.001, Split: cart.SplitExact})
+		benchErr(b, err)
+	}
+}
+
+// --- incremental refit (streaming) benchmarks ---
+
+// refitBenchData generates the streaming-refit scenario at the
+// cart_fit_20k scale: a 20k-row accumulated history plus one streamed
+// day whose feature distribution drifted (x1 concentrated high), so the
+// refit is a real drift refit rather than a stats refresh. The same
+// mixed schema as cartBenchFrame keeps the numbers comparable.
+func refitBenchData() (base [][]float64, baseY []float64, day [][]float64, dayY []float64) {
+	src := rng.New(3)
+	mk := func(n int, lo, span float64) ([][]float64, []float64) {
+		rows := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range rows {
+			x1 := lo + src.Float64()*span
+			cat := float64(src.IntN(7))
+			rows[i] = []float64{x1, cat}
+			y[i] = x1*0.01 + cat
+		}
+		return rows, y
+	}
+	base, baseY = mk(20000, 0, 100)
+	day, dayY = mk(250, 60, 40)
+	return base, baseY, day, dayY
+}
+
+func newBenchRefitter(b testing.TB) *cart.Refitter {
+	b.Helper()
+	r, err := cart.NewRefitter("y", []cart.Feature{
+		{Name: "x1", Kind: frame.Continuous},
+		{Name: "cat", Kind: frame.Nominal, Levels: []string{"a", "b", "c", "d", "e", "f", "g"}},
+	}, nil, cart.RefitConfig{
+		Config: cart.Config{MaxDepth: 6, CP: 0.001, Workers: 1, Split: cart.SplitExact},
+	})
+	benchErr(b, err)
+	return r
+}
+
+// BenchmarkIncrementalRefit20k measures bringing a fitted 20k-row tree
+// current after one streamed day of drifted rows — the live maintainer's
+// steady-state cost. The fitted base state is rebuilt outside the timer
+// each iteration; only the day's Append (merge into presorted orders)
+// plus Refit is measured. Recorded as incremental_refit_20k by
+// `make stream-replay`.
+func BenchmarkIncrementalRefit20k(b *testing.B) {
+	base, baseY, day, dayY := refitBenchData()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := newBenchRefitter(b)
+		benchErr(b, r.Append(base, baseY))
+		_, err := r.Refit(ctx)
+		benchErr(b, err)
+		b.StartTimer()
+		benchErr(b, r.Append(day, dayY))
+		_, err = r.Refit(ctx)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFullRefit20k is the comparator: rebuild the model from
+// scratch over the identical 20k+day history, the cost a batch pipeline
+// pays on every day-close. The incremental path must beat this
+// (TestBenchStreamRefit enforces it).
+func BenchmarkFullRefit20k(b *testing.B) {
+	base, baseY, day, dayY := refitBenchData()
+	all := append(append([][]float64{}, base...), day...)
+	allY := append(append([]float64{}, baseY...), dayY...)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := newBenchRefitter(b)
+		benchErr(b, r.Append(all, allY))
+		_, err := r.Refit(ctx)
 		benchErr(b, err)
 	}
 }
@@ -510,6 +589,65 @@ func measureGated(fn func(*testing.B), budget int64, attempts int) testing.Bench
 		}
 	}
 	return best
+}
+
+// TestBenchStreamRefit is the streaming gate behind `make stream-replay`:
+// it measures the single-day incremental refit against the from-scratch
+// full refit over the identical 20k+day history (min-of-k, see
+// measureGated), fails unless the incremental path wins, fails if
+// incremental_refit_20k regressed more than 15% ns/op against the
+// committed snapshot, and — when RAINSHINE_BENCH_OUT is set — merges the
+// fresh number into the snapshot with the full-refit comparator recorded
+// as a baseline so the speedup stays auditable.
+func TestBenchStreamRefit(t *testing.T) {
+	if os.Getenv("RAINSHINE_BENCH_STREAM") == "" {
+		t.Skip("RAINSHINE_BENCH_STREAM unset; run via `make stream-replay`")
+	}
+	const gate = 0.15
+	recorded, err := readBenchDoc("BENCH_analysis.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var budget int64
+	rec, haveRec := recorded.Results["incremental_refit_20k"]
+	if haveRec && rec.NsPerOp > 0 {
+		budget = int64(float64(rec.NsPerOp) * (1 + gate))
+	}
+	inc := measureGated(BenchmarkIncrementalRefit20k, budget, 5)
+	full := measureGated(BenchmarkFullRefit20k, 0, 3)
+	if inc.N == 0 || full.N == 0 {
+		t.Fatal("refit benchmarks did not run")
+	}
+	t.Logf("incremental_refit_20k: %v", inc)
+	t.Logf("full_refit_20k: %v", full)
+	if inc.NsPerOp() >= full.NsPerOp() {
+		t.Errorf("incremental refit (%d ns/op) does not beat full refit (%d ns/op) on single-day drift",
+			inc.NsPerOp(), full.NsPerOp())
+	}
+	if budget > 0 {
+		if ratio := float64(inc.NsPerOp()) / float64(rec.NsPerOp); ratio > 1+gate {
+			t.Errorf("incremental_refit_20k regressed: %d ns/op vs recorded %d (%+.1f%%, gate +%.0f%%)",
+				inc.NsPerOp(), rec.NsPerOp, (ratio-1)*100, gate*100)
+		}
+	} else {
+		t.Log("incremental_refit_20k: no recorded result to gate against")
+	}
+	out := os.Getenv("RAINSHINE_BENCH_OUT")
+	if out == "" {
+		return
+	}
+	doc, err := readBenchDoc(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Results["incremental_refit_20k"] = snapshotOf(inc)
+	base := snapshotOf(full)
+	base.Note = "from-scratch refit over the same 20k+day rows; the incremental gate's comparator"
+	doc.Baselines["full_refit_20k"] = base
+	if err := writeBenchDoc(out, doc); err != nil {
+		t.Fatalf("writing %s: %v", out, err)
+	}
+	fmt.Printf("stream bench snapshot merged into %s\n", out)
 }
 
 // TestBenchFleet is the fleet-scale gate behind `make bench-fleet`: it

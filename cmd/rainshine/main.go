@@ -27,6 +27,10 @@
 //	                   -q3-concurrent, -q3-queue, -rps, -burst,
 //	                   -breaker-threshold, -breaker-cooldown,
 //	                   -chaos, -chaos-seed; see README)
+//	stream <out.log>   simulate and write the append-only stream log ("-" = stdout)
+//	stream replay <f>  replay a stream log through the watermark maintainer and
+//	                   print the canonical study envelope (byte-identical to the
+//	                   batch study over the same data)
 //	pooling            shared-vs-dedicated spare pool comparison
 //	opex               replace-vs-service repair policy comparison
 //	tree               print the Q3 multi-factor CART model
@@ -130,6 +134,11 @@ func run(args []string) error {
 	// builds studies on demand per request instead of one up front.
 	if rest[0] == "serve" {
 		return serveCmd(rest[1:])
+	}
+	// stream writes or replays an append-only stream log; replay routes
+	// the log through the watermark maintainer, not a fresh simulation.
+	if rest[0] == "stream" {
+		return streamCmd(rest[1:], opts)
 	}
 
 	fmt.Fprintf(os.Stderr, "simulating fleet (seed %d)...\n", *seed)

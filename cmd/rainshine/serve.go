@@ -8,9 +8,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"rainshine"
 	"rainshine/internal/faults"
 	"rainshine/internal/server"
 )
@@ -34,6 +36,13 @@ type serveConfig struct {
 	breakerCooldown  time.Duration
 	chaos            bool
 	chaosSeed        uint64
+
+	follow         string
+	followSeed     uint64
+	followDays     int
+	followRacks    string
+	followFaults   bool
+	followLateness int
 }
 
 // parseServeFlags parses and validates the serve flags without binding
@@ -70,6 +79,16 @@ func parseServeFlags(args []string) (serveConfig, error) {
 	chaos := fs.Bool("chaos", false,
 		"deterministic fault injection: seeded build failures, latency spikes, slow clients")
 	chaosSeed := fs.Uint64("chaos-seed", 42, "seed for the -chaos fault plan")
+	follow := fs.String("follow", "",
+		"tail this append-only stream log: maintain a live watermark study and serve it on /v1/stream")
+	followSeed := fs.Uint64("follow-seed", 42, "root seed of the followed stream's study")
+	followDays := fs.Int("follow-days", 930, "observation window of the followed stream's study")
+	followRacks := fs.String("follow-racks", "",
+		"rack counts dc1,dc2 of the followed stream's study (default paper-scale 331,290)")
+	followFaults := fs.Bool("follow-faults", false,
+		"the followed stream carries the default dirty-data fault mix")
+	followLateness := fs.Int("follow-lateness", 0,
+		"out-of-order slack in days before the watermark closes a day (0 = 1 day, negative = none)")
 	if err := fs.Parse(args); err != nil {
 		return serveConfig{}, err
 	}
@@ -118,6 +137,23 @@ func parseServeFlags(args []string) (serveConfig, error) {
 	if set["chaos-seed"] && !*chaos {
 		return serveConfig{}, errors.New("-chaos-seed requires -chaos")
 	}
+	if *follow == "" {
+		for _, name := range []string{"follow-seed", "follow-days", "follow-racks", "follow-faults", "follow-lateness"} {
+			if set[name] {
+				return serveConfig{}, fmt.Errorf("-%s requires -follow", name)
+			}
+		}
+	} else {
+		if *followDays < 1 {
+			return serveConfig{}, fmt.Errorf("-follow-days must be positive, got %d", *followDays)
+		}
+		if *followRacks != "" {
+			if _, _, err := rainshine.ParseRacks(*followRacks); err != nil {
+				return serveConfig{}, fmt.Errorf("-follow-racks: %s",
+					strings.TrimPrefix(err.Error(), "rainshine: "))
+			}
+		}
+	}
 	return serveConfig{
 		addr: *addr, cache: *cache, timeout: *timeout,
 		workers: *workers, warmup: *warmup,
@@ -132,6 +168,12 @@ func parseServeFlags(args []string) (serveConfig, error) {
 		breakerCooldown:  *breakerCooldown,
 		chaos:            *chaos,
 		chaosSeed:        *chaosSeed,
+		follow:           *follow,
+		followSeed:       *followSeed,
+		followDays:       *followDays,
+		followRacks:      *followRacks,
+		followFaults:     *followFaults,
+		followLateness:   *followLateness,
 	}, nil
 }
 
@@ -171,6 +213,23 @@ func (cfg serveConfig) serverConfig() server.Config {
 		cc := faults.DefaultChaos(cfg.chaosSeed)
 		sc.Chaos = &cc
 	}
+	if cfg.follow != "" {
+		study := server.StudyConfig{
+			Seed:   cfg.followSeed,
+			Days:   cfg.followDays,
+			Faults: cfg.followFaults,
+		}
+		if cfg.followRacks != "" {
+			// Validated by parseServeFlags; an error here is impossible.
+			a, b, _ := rainshine.ParseRacks(cfg.followRacks)
+			study.Racks = [2]int{a, b}
+		}
+		sc.Follow = &server.FollowConfig{
+			Path:     cfg.follow,
+			Study:    study,
+			Lateness: cfg.followLateness,
+		}
+	}
 	return sc
 }
 
@@ -195,6 +254,17 @@ func serveCmd(args []string) error {
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "rainshine serve: listening on %s (cache %d studies, timeout %s)\n",
 		cfg.addr, cfg.cache, cfg.timeout)
+	if cfg.follow != "" {
+		fmt.Fprintf(os.Stderr, "rainshine serve: following stream log %s (seed %d, %d days)\n",
+			cfg.follow, cfg.followSeed, cfg.followDays)
+		go func() {
+			// A corrupt or unreadable log degrades /v1/stream (its state
+			// carries the error); the batch endpoints keep serving.
+			if err := srv.Follow(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "rainshine serve: stream follower: %v\n", err)
+			}
+		}()
+	}
 	if cfg.chaos {
 		fmt.Fprintf(os.Stderr, "rainshine serve: CHAOS MODE ON (seed %d): injecting deterministic build failures, latency spikes, slow clients\n",
 			cfg.chaosSeed)

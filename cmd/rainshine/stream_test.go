@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStreamWriteAndReplay writes a tiny study's stream log through the
+// CLI, replays it, and checks the replay prints the study envelope.
+func TestStreamWriteAndReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "study.log")
+	tiny := []string{"-seed", "9", "-days", "30", "-racks", "3,2", "-workers", "1"}
+	withTiny := func(args ...string) []string { return append(append([]string{}, tiny...), args...) }
+	if err := run(withTiny("stream", path)); err != nil {
+		t.Fatalf("stream write: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("stream log not written: %v", err)
+	}
+
+	// Replay prints the canonical envelope on stdout.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(withTiny("stream", "replay", path))
+	w.Close()
+	os.Stdout = old
+	out := make([]byte, 1<<16)
+	n, _ := r.Read(out)
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("stream replay: %v", runErr)
+	}
+	body := string(out[:n])
+	for _, want := range []string{`"seed":9`, `"days":30`, `"quality"`, `"tree_leaves"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("envelope missing %s:\n%s", want, body)
+		}
+	}
+}
+
+func TestStreamArgErrors(t *testing.T) {
+	cases := [][]string{
+		{"stream"},                       // missing path
+		{"stream", "a", "b"},             // replay misspelled
+		{"stream", "replay"},             // missing replay path
+		{"stream", "replay", "a", "b"},   // extra arg
+		{"stream", "replay", "/no/such"}, // unreadable log
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should error", args)
+		}
+	}
+}
+
+func TestParseServeFollowFlags(t *testing.T) {
+	// Follow sub-flags without -follow are rejected.
+	for _, args := range [][]string{
+		{"-follow-seed", "7"},
+		{"-follow-days", "100"},
+		{"-follow-racks", "3,2"},
+		{"-follow-faults"},
+		{"-follow-lateness", "2"},
+		{"-follow", "x.log", "-follow-days", "0"},
+		{"-follow", "x.log", "-follow-racks", "1"},
+	} {
+		if _, err := parseServeFlags(args); err == nil {
+			t.Errorf("parseServeFlags(%v) should error", args)
+		}
+	}
+
+	cfg, err := parseServeFlags([]string{
+		"-follow", "study.log", "-follow-seed", "7", "-follow-days", "120",
+		"-follow-racks", "6,4", "-follow-faults", "-follow-lateness", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := cfg.serverConfig()
+	if sc.Follow == nil {
+		t.Fatal("serverConfig dropped the follow config")
+	}
+	if sc.Follow.Path != "study.log" || sc.Follow.Lateness != 2 {
+		t.Fatalf("follow config = %+v", sc.Follow)
+	}
+	st := sc.Follow.Study
+	if st.Seed != 7 || st.Days != 120 || st.Racks != [2]int{6, 4} || !st.Faults {
+		t.Fatalf("follow study = %+v", st)
+	}
+
+	// No -follow: no follower attached.
+	cfg, err = parseServeFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.serverConfig().Follow != nil {
+		t.Fatal("follower attached without -follow")
+	}
+}

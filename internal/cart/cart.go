@@ -343,22 +343,17 @@ type scratch struct {
 	present            []int
 }
 
-// prepare builds the root row view: every feature's finite rows sorted
-// once by (value, row index) — the canonical order rank filtering
-// preserves down the tree. The per-feature sorts run through the pool.
-func (b *builder) prepare(nRows int) error {
+// initBuffers sizes the builder-lifetime scratch (partition side table,
+// per-worker split/search buffers) for nRows training rows. Shared by
+// prepare and by the incremental refitter, which supplies its own
+// presorted row views instead of re-sorting.
+func (b *builder) initBuffers(nRows int) {
 	nf := len(b.cols)
 	b.workers = parallel.Workers(b.cfg.Workers)
 	b.side = make([]bool, nRows)
 	b.idxTmp = make([]int, nRows)
 	b.featSplit = make([]split, nf)
 	b.featOK = make([]bool, nf)
-
-	idx := make([]int, nRows)
-	for i := range idx {
-		idx[i] = i
-	}
-	b.rows = nodeRows{idx: idx, sorted: make([][]int32, nf)}
 
 	slots := b.workers
 	if slots > nf {
@@ -379,6 +374,20 @@ func (b *builder) prepare(nRows int) error {
 		b.scratch[w] = newScratch(b.nClasses, maxLevels)
 		b.sortTmps[w] = make([]int32, 0, nRows)
 	}
+}
+
+// prepare builds the root row view: every feature's finite rows sorted
+// once by (value, row index) — the canonical order rank filtering
+// preserves down the tree. The per-feature sorts run through the pool.
+func (b *builder) prepare(nRows int) error {
+	nf := len(b.cols)
+	b.initBuffers(nRows)
+
+	idx := make([]int, nRows)
+	for i := range idx {
+		idx[i] = i
+	}
+	b.rows = nodeRows{idx: idx, sorted: make([][]int32, nf)}
 
 	return parallel.ForEach(b.ctx, b.cfg.Workers, nf, func(fi int) error {
 		if b.tree.Features[fi].Kind == frame.Nominal {

@@ -1,0 +1,310 @@
+package cart
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"rainshine/internal/frame"
+	"rainshine/internal/rng"
+)
+
+// refitData draws n synthetic rows: two continuous features, a nominal
+// factor, and an additive response with a threshold effect on x1.
+func refitData(seed uint64, n int) (rows [][]float64, y []float64) {
+	src := rng.New(seed)
+	rows = make([][]float64, n)
+	y = make([]float64, n)
+	for i := range rows {
+		x1 := src.Float64() * 100
+		x2 := src.NormFloat64() * 10
+		cat := float64(src.IntN(5))
+		if src.Float64() < 0.03 {
+			x2 = math.NaN()
+		}
+		rows[i] = []float64{x1, x2, cat}
+		y[i] = 0.05*x1 + cat
+		if x1 > 60 {
+			y[i] += 8
+		}
+		y[i] += src.NormFloat64() * 0.5
+	}
+	return rows, y
+}
+
+func refitFeatures() []Feature {
+	return []Feature{
+		{Name: "x1", Kind: frame.Continuous},
+		{Name: "x2", Kind: frame.Continuous},
+		{Name: "cat", Kind: frame.Nominal, Levels: []string{"a", "b", "c", "d", "e"}},
+	}
+}
+
+// refitFrame materializes refit rows as a frame for batch Fit parity.
+func refitFrame(t *testing.T, rows [][]float64, y []float64) *frame.Frame {
+	t.Helper()
+	n := len(rows)
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	cat := make([]int, n)
+	for i, r := range rows {
+		x1[i], x2[i], cat[i] = r[0], r[1], int(r[2])
+	}
+	f := frame.New(n)
+	if err := f.AddContinuous("x1", x1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddContinuous("x2", x2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddNominalInts("cat", cat, []string{"a", "b", "c", "d", "e"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddContinuous("y", y); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// assertTreesIdentical compares two trees node for node.
+func assertTreesIdentical(t *testing.T, a, b *Tree, label string) {
+	t.Helper()
+	if a.String() != b.String() {
+		t.Fatalf("%s: trees differ:\n--- a ---\n%s\n--- b ---\n%s", label, a, b)
+	}
+	var walk func(x, y *Node)
+	walk = func(x, y *Node) {
+		if (x == nil) != (y == nil) {
+			t.Fatalf("%s: structural mismatch", label)
+		}
+		if x == nil {
+			return
+		}
+		if x.N != y.N || x.Value != y.Value || x.Impurity != y.Impurity ||
+			x.Feature != y.Feature || x.Threshold != y.Threshold ||
+			x.DefaultLeft != y.DefaultLeft || !reflect.DeepEqual(x.LeftSet, y.LeftSet) {
+			t.Fatalf("%s: node mismatch: %+v vs %+v", label, x, y)
+		}
+		walk(x.Left, y.Left)
+		walk(x.Right, y.Right)
+	}
+	walk(a.Root, b.Root)
+}
+
+func TestRefitterInitialMatchesBatchFit(t *testing.T) {
+	rows, y := refitData(7, 3000)
+	cfg := RefitConfig{Config: Config{Workers: 2, Split: SplitExact}}
+	r, err := NewRefitter("y", refitFeatures(), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(rows, y); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Refit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != RefitInitial {
+		t.Fatalf("outcome = %v, want initial", rep.Outcome)
+	}
+	batch, err := Fit(refitFrame(t, rows, y), "y", []string{"x1", "x2", "cat"},
+		Config{Workers: 2, Split: SplitExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTreesIdentical(t, r.Tree(), batch, "initial vs batch")
+}
+
+func TestRefitterFullRefitMatchesBatchFit(t *testing.T) {
+	rows, y := refitData(11, 2000)
+	// Tight thresholds so the shifted second half forces the full path.
+	cfg := RefitConfig{Config: Config{Workers: 1, Split: SplitExact},
+		LeafDrift: 0.01, GlobalDrift: 0.02}
+	r, err := NewRefitter("y", refitFeatures(), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(rows[:1000], y[:1000]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Refit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(rows[1000:], y[1000:]); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Refit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != RefitFull {
+		t.Fatalf("outcome = %v, want full", rep.Outcome)
+	}
+	batch, err := Fit(refitFrame(t, rows, y), "y", []string{"x1", "x2", "cat"},
+		Config{Workers: 1, Split: SplitExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A full refit over the same rows in the same order must reproduce
+	// the batch tree exactly — the determinism contract of the stream
+	// maintainer rests on this.
+	assertTreesIdentical(t, r.Tree(), batch, "full refit vs batch")
+}
+
+func TestRefitterSubtreeDrift(t *testing.T) {
+	rows, y := refitData(13, 4000)
+	cfg := RefitConfig{Config: Config{Workers: 2, Split: SplitExact}, GlobalDrift: 0.6}
+	r, err := NewRefitter("y", refitFeatures(), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(rows, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Refit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	before := r.Tree().NumLeaves()
+
+	// One "day" of new data concentrated in the hot x1 regime with a
+	// strongly shifted response: local drift, not global.
+	src := rng.New(99)
+	var drows [][]float64
+	var dy []float64
+	for i := 0; i < 300; i++ {
+		x1 := 80 + src.Float64()*20
+		x2 := src.NormFloat64() * 10
+		drows = append(drows, []float64{x1, x2, float64(src.IntN(5))})
+		dy = append(dy, 30+src.NormFloat64()*0.5)
+	}
+	if err := r.Append(drows, dy); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Refit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != RefitSubtrees {
+		t.Fatalf("outcome = %v (drifted %d), want subtrees", rep.Outcome, rep.Drifted)
+	}
+	if rep.Drifted == 0 {
+		t.Fatal("no drifted leaves reported")
+	}
+	if r.Tree().NumLeaves() < before {
+		t.Fatalf("leaves shrank: %d -> %d", before, r.Tree().NumLeaves())
+	}
+	// The updated model must have absorbed the regime shift.
+	pred, err := r.Tree().Predict([]float64{90, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred < 15 {
+		t.Fatalf("hot-regime prediction %.2f did not move toward the new mean", pred)
+	}
+	// And the quiet regime keeps sane predictions.
+	pred, err = r.Tree().Predict([]float64{10, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred > 10 {
+		t.Fatalf("cool-regime prediction %.2f was dragged by the hot shift", pred)
+	}
+}
+
+func TestRefitterStatsOnlyOnTinyDelta(t *testing.T) {
+	rows, y := refitData(17, 3000)
+	cfg := RefitConfig{Config: Config{Workers: 1, Split: SplitExact}, LeafDrift: 0.5}
+	r, err := NewRefitter("y", refitFeatures(), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(rows, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Refit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	extra, ey := refitData(18, 30)
+	if err := r.Append(extra, ey); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Refit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != RefitStats {
+		t.Fatalf("outcome = %v, want stats-only", rep.Outcome)
+	}
+	// Leaf populations must account for every row.
+	total := 0
+	for _, leaf := range r.Tree().Leaves() {
+		total += leaf.N
+	}
+	if total != r.Rows() {
+		t.Fatalf("leaf populations sum to %d, want %d", total, r.Rows())
+	}
+}
+
+func TestRefitterWorkersDeterministic(t *testing.T) {
+	rows, y := refitData(23, 3000)
+	delta, dy := refitData(24, 500)
+	fit := func(workers int) *Tree {
+		cfg := RefitConfig{Config: Config{Workers: workers, Split: SplitExact},
+			LeafDrift: 0.05}
+		r, err := NewRefitter("y", refitFeatures(), nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Append(rows, y); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Refit(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Append(delta, dy); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Refit(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return r.Tree()
+	}
+	base := fit(1)
+	for _, w := range []int{2, 4, 8} {
+		assertTreesIdentical(t, base, fit(w), "workers determinism")
+	}
+}
+
+func TestRefitterValidation(t *testing.T) {
+	if _, err := NewRefitter("", refitFeatures(), nil, RefitConfig{}); err == nil {
+		t.Fatal("empty target accepted")
+	}
+	if _, err := NewRefitter("y", nil, nil, RefitConfig{}); err == nil {
+		t.Fatal("no features accepted")
+	}
+	if _, err := NewRefitter("y", refitFeatures(), []string{"a"}, RefitConfig{}); err == nil {
+		t.Fatal("regression with class levels accepted")
+	}
+	cfgC := RefitConfig{Config: Config{Task: Classification}}
+	if _, err := NewRefitter("y", refitFeatures(), nil, cfgC); err == nil {
+		t.Fatal("classification without class levels accepted")
+	}
+	r, err := NewRefitter("y", refitFeatures(), nil, RefitConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append([][]float64{{1, 2, 3}}, []float64{1, 2}); err == nil {
+		t.Fatal("row/target length mismatch accepted")
+	}
+	if err := r.Append([][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := r.Append([][]float64{{1, 2, 3}}, []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN target accepted")
+	}
+	if _, err := r.Refit(context.Background()); err == nil {
+		t.Fatal("refit with no rows accepted")
+	}
+}

@@ -95,6 +95,31 @@ func New(src *rng.Source, fleet *topology.Fleet, days int) (*Model, error) {
 	return m, nil
 }
 
+// Empty builds a model with every rack-day reading missing (NaN). It is
+// the receiving vessel for streamed telemetry: a reconstruction fills
+// readings in via SetAt as records arrive, and any cell never written
+// reads as a sensor dropout to the ingest audit.
+func Empty(racks, days int) (*Model, error) {
+	if racks <= 0 {
+		return nil, fmt.Errorf("climate: non-positive rack count %d", racks)
+	}
+	if days <= 0 {
+		return nil, fmt.Errorf("climate: non-positive days %d", days)
+	}
+	m := &Model{
+		days:  days,
+		racks: racks,
+		temp:  make([]float32, racks*days),
+		rh:    make([]float32, racks*days),
+	}
+	nan := float32(math.NaN())
+	for i := range m.temp {
+		m.temp[i] = nan
+		m.rh[i] = nan
+	}
+	return m, nil
+}
+
 // At returns the conditions for a rack on a day.
 func (m *Model) At(rackID, day int) (Conditions, error) {
 	if rackID < 0 || rackID >= m.racks {

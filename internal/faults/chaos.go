@@ -39,6 +39,25 @@ type ChaosConfig struct {
 	SlowClientRate float64
 	SlowChunk      int
 	SlowDelay      time.Duration
+
+	// Stream-delivery defects: the stream layer perturbs a canonical
+	// record sequence with these decisions before replay (see
+	// stream.CorruptRecords). Each decision is a pure function of
+	// (seed, record sequence position).
+	//
+	// StreamReorderRate defers a record's delivery into the next
+	// observation day — out of order, but within the maintainer's
+	// default lateness slack, so no data is lost.
+	StreamReorderRate float64
+	// StreamDuplicateRate re-delivers an event or ticket record
+	// immediately (same sequence number; the maintainer must quarantine
+	// the copy as DuplicateEvent).
+	StreamDuplicateRate float64
+	// StreamLateRate defers a record by StreamLateDays observation
+	// days — past the watermark, so the maintainer quarantines it as
+	// LateArrival. StreamLateDays zero means 3.
+	StreamLateRate float64
+	StreamLateDays int
 }
 
 // DefaultChaos is the fault mix behind the serve daemon's -chaos flag:
@@ -59,7 +78,12 @@ func DefaultChaos(seed uint64) ChaosConfig {
 // Enabled reports whether any chaos class is active.
 func (c ChaosConfig) Enabled() bool {
 	return c.BuildFailAfter > 0 || c.BuildFailRate > 0 ||
-		c.LatencyRate > 0 || c.SlowClientRate > 0
+		c.LatencyRate > 0 || c.SlowClientRate > 0 || c.StreamEnabled()
+}
+
+// StreamEnabled reports whether any stream-delivery defect is active.
+func (c ChaosConfig) StreamEnabled() bool {
+	return c.StreamReorderRate > 0 || c.StreamDuplicateRate > 0 || c.StreamLateRate > 0
 }
 
 // Chaos makes the fault plan's per-attempt and per-request decisions.
@@ -117,6 +141,42 @@ func (c *Chaos) Latency(seq uint64) time.Duration {
 	}
 	// (0, LatencySpike]: a selected request always stalls a little.
 	return time.Duration((1 - s.Float64()) * float64(c.cfg.LatencySpike))
+}
+
+// StreamReorder decides whether the record at sequence position pos is
+// deferred into the next observation day (out-of-order delivery within
+// the lateness slack).
+func (c *Chaos) StreamReorder(pos int) bool {
+	if c == nil || c.cfg.StreamReorderRate <= 0 {
+		return false
+	}
+	return c.src.Split("stream:reorder").SplitIndex("rec", pos).Float64() < c.cfg.StreamReorderRate
+}
+
+// StreamDuplicate decides whether the record at sequence position pos
+// is re-delivered immediately after itself.
+func (c *Chaos) StreamDuplicate(pos int) bool {
+	if c == nil || c.cfg.StreamDuplicateRate <= 0 {
+		return false
+	}
+	return c.src.Split("stream:duplicate").SplitIndex("rec", pos).Float64() < c.cfg.StreamDuplicateRate
+}
+
+// StreamLate decides whether the record at sequence position pos is
+// delivered late, returning how many observation days its delivery is
+// deferred (past the watermark by construction).
+func (c *Chaos) StreamLate(pos int) (days int, ok bool) {
+	if c == nil || c.cfg.StreamLateRate <= 0 {
+		return 0, false
+	}
+	if c.src.Split("stream:late").SplitIndex("rec", pos).Float64() >= c.cfg.StreamLateRate {
+		return 0, false
+	}
+	days = c.cfg.StreamLateDays
+	if days == 0 {
+		days = 3
+	}
+	return days, true
 }
 
 // SlowClient decides whether request seq drains its response slowly,

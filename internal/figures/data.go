@@ -89,6 +89,18 @@ func NewDataContext(ctx context.Context, cfg simulate.Config) (*Data, error) {
 // From wraps an existing simulation result.
 func From(res *simulate.Result) *Data { return &Data{Res: res} }
 
+// FromWithQuality wraps an existing simulation result whose DataQuality
+// report was already produced elsewhere (a stream reconstruction scrubs
+// as records arrive and accumulates the report incrementally). Quality
+// serves rep instead of re-auditing.
+func FromWithQuality(res *simulate.Result, rep *ingest.Report) *Data {
+	d := &Data{Res: res}
+	if rep != nil {
+		d.quality.preset(rep)
+	}
+	return d
+}
+
 // Quality returns the DataQuality report of the telemetry backing the
 // analyses. Dirty studies report the scrub that already ran; clean
 // studies run a non-mutating audit on first call.

@@ -54,6 +54,14 @@ const (
 	// MissingColumn is a required factor column absent from an ingested
 	// frame.
 	MissingColumn
+	// LateArrival is a stream record that arrived after the watermark
+	// closed its day: the day's books are already committed, so the
+	// record is quarantined rather than silently rewriting history.
+	LateArrival
+	// DuplicateEvent is a stream record re-delivered with a sequence
+	// number the maintainer has already committed (at-least-once
+	// transports retrying a send).
+	DuplicateEvent
 	// NumClasses bounds the taxonomy.
 	NumClasses
 )
@@ -71,18 +79,22 @@ var (
 	ErrSensorStuck        = errors.New("ingest: stuck sensor")
 	ErrNonFiniteCell      = errors.New("ingest: non-finite cell")
 	ErrMissingColumn      = errors.New("ingest: missing column")
+	ErrLateArrival        = errors.New("ingest: late arrival past watermark")
+	ErrDuplicateEvent     = errors.New("ingest: duplicate stream event")
 )
 
 var classErrs = [NumClasses]error{
 	ErrDuplicateTicket, ErrTicketOutOfRange, ErrTicketBadHour,
 	ErrTicketBadRepair, ErrTicketUnknownFault, ErrRepeatInversion,
 	ErrSensorGap, ErrSensorStuck, ErrNonFiniteCell, ErrMissingColumn,
+	ErrLateArrival, ErrDuplicateEvent,
 }
 
 var classNames = [NumClasses]string{
 	"duplicate-ticket", "ticket-out-of-range", "ticket-bad-hour",
 	"ticket-bad-repair", "ticket-unknown-fault", "repeat-inversion",
 	"sensor-gap", "sensor-stuck", "non-finite-cell", "missing-column",
+	"late-arrival", "duplicate-event",
 }
 
 // Err returns the class's sentinel error.

@@ -24,6 +24,7 @@ type Metrics struct {
 	cache     CacheCounters
 	builds    BuildCounters
 	res       ResilienceCounters
+	stream    *StreamCounters
 	breaker   *resilience.Breaker
 }
 
@@ -127,6 +128,14 @@ func (m *Metrics) ChaosBuildFault() { m.mu.Lock(); m.res.ChaosBuildFaults++; m.m
 // ChaosSlowClient records one slow-client (trickle-write) simulation.
 func (m *Metrics) ChaosSlowClient() { m.mu.Lock(); m.res.ChaosSlowClients++; m.mu.Unlock() }
 
+// SetStream publishes the stream follower's live counters; Snapshot
+// reports them under the "stream" key (absent until the first call).
+func (m *Metrics) SetStream(c StreamCounters) {
+	m.mu.Lock()
+	m.stream = &c
+	m.mu.Unlock()
+}
+
 // attachBreaker lets Snapshot report live breaker state; nil (the
 // disabled breaker) reports "closed".
 func (m *Metrics) attachBreaker(b *resilience.Breaker) {
@@ -142,6 +151,22 @@ type Snapshot struct {
 	Cache         CacheCounters               `json:"cache"`
 	Builds        BuildCounters               `json:"builds"`
 	Resilience    ResilienceCounters          `json:"resilience"`
+	Stream        *StreamCounters             `json:"stream,omitempty"`
+}
+
+// StreamCounters summarizes the live stream follower for /metricz: the
+// watermark position, the open-day lag behind the newest observation,
+// and the stream-defect quarantines.
+type StreamCounters struct {
+	Following  bool  `json:"following"`
+	RecordsIn  int64 `json:"records_in"`
+	Watermark  int   `json:"watermark"`
+	MaxDaySeen int   `json:"max_day_seen"`
+	Lag        int   `json:"lag"`
+	Late       int64 `json:"late"`
+	Duplicates int64 `json:"duplicates"`
+	Sealed     bool  `json:"sealed"`
+	Refits     int64 `json:"refits"`
 }
 
 // ResilienceCounters summarizes admission control, degradation, and
@@ -209,6 +234,10 @@ func (m *Metrics) Snapshot(cacheCapacity int) Snapshot {
 		Cache:         m.cache,
 		Builds:        m.builds,
 		Resilience:    m.res,
+	}
+	if m.stream != nil {
+		c := *m.stream
+		s.Stream = &c
 	}
 	s.Cache.Capacity = cacheCapacity
 	s.Resilience.BreakerState = m.breaker.State().String()

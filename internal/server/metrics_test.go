@@ -24,10 +24,14 @@ func decoderAt(s, marker string) io.Reader {
 // endpoint paths in sorted order.
 func TestSnapshotStableOrdering(t *testing.T) {
 	m := NewMetrics()
-	paths := []string{"/v1/q3", "/healthz", "/v1/q1", "/metricz", "/v1/predict", "/v1/q2"}
+	paths := []string{"/v1/q3", "/healthz", "/v1/q1", "/metricz", "/v1/predict", "/v1/q2", "/v1/stream"}
 	for i, p := range paths {
 		m.Observe(p, time.Duration(i+1)*time.Millisecond, i%2 == 0)
 	}
+	m.SetStream(StreamCounters{
+		Following: true, RecordsIn: 315, Watermark: 38, MaxDaySeen: 39,
+		Lag: 2, Late: 3, Duplicates: 1, Refits: 5,
+	})
 
 	marshal := func() string {
 		s := m.Snapshot(4)
@@ -43,6 +47,18 @@ func TestSnapshotStableOrdering(t *testing.T) {
 		if got := marshal(); got != first {
 			t.Fatalf("snapshot %d differs:\n%s\nwant\n%s", i, got, first)
 		}
+	}
+
+	// The stream section must be present with its counters intact.
+	var withStream struct {
+		Stream *StreamCounters `json:"stream"`
+	}
+	if err := json.Unmarshal([]byte(first), &withStream); err != nil {
+		t.Fatal(err)
+	}
+	if withStream.Stream == nil || withStream.Stream.Watermark != 38 ||
+		withStream.Stream.Lag != 2 || withStream.Stream.Late != 3 {
+		t.Fatalf("stream section = %+v, want watermark 38 lag 2 late 3", withStream.Stream)
 	}
 
 	// The emitted request rows must cover every path, in sorted order.

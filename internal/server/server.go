@@ -16,8 +16,9 @@
 //	GET /v1/q3       climate guidance       (study params)
 //	GET /v1/predict  failure prediction     (study params)
 //	GET /v1/quality  DataQuality report     (study params)
+//	GET /v1/stream   live stream watermark state (long-poll on ?watermark=N)
 //	GET /healthz     liveness probe
-//	GET /metricz     request/latency/cache/build counters
+//	GET /metricz     request/latency/cache/build counters (+ stream section)
 package server
 
 import (
@@ -63,6 +64,10 @@ type Config struct {
 	// seeded build failures, latency spikes, and slow-client
 	// simulation. Production runs leave it nil.
 	Chaos *faults.ChaosConfig
+	// Follow, when non-nil, attaches a live stream follower: the daemon
+	// tails the configured log, maintains a watermark study, and serves
+	// its state on /v1/stream (run it with Server.Follow).
+	Follow *FollowConfig
 
 	// build overrides study construction (tests).
 	build buildFunc
@@ -89,10 +94,11 @@ type Server struct {
 	cfg     Config
 	reg     *registry
 	metrics *Metrics
-	adm     *admission
-	breaker *resilience.Breaker
-	chaos   *chaosState // nil when chaos mode is off
-	handler http.Handler
+	adm      *admission
+	breaker  *resilience.Breaker
+	chaos    *chaosState // nil when chaos mode is off
+	follower *follower   // nil when no stream is attached
+	handler  http.Handler
 }
 
 // New assembles a Server.
@@ -143,9 +149,13 @@ func New(cfg Config) *Server {
 		metrics:      m,
 		build:        build,
 	})
+	if cfg.Follow != nil {
+		s.follower = newFollower(*cfg.Follow, cfg.Workers, m, cfg.Logf)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metricz", s.handleMetricz)
+	mux.HandleFunc("GET /v1/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/q1", s.handleQ1)
 	mux.HandleFunc("GET /v1/q2", s.handleQ2)
 	mux.HandleFunc("GET /v1/q3", s.handleQ3)

@@ -1,17 +1,23 @@
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"rainshine/internal/faults"
+	"rainshine/internal/simulate"
+	"rainshine/internal/stream"
 )
 
 // soakConfigs are four small (fast-building) study configs the chaos
@@ -152,6 +158,151 @@ func TestChaosSoakDeterministicDegradation(t *testing.T) {
 	}
 	if want := strings.TrimSuffix(rr.Body.String(), "\n"); string(env.Data) != want {
 		t.Errorf("degraded data differs from the healthy answer\ndegraded: %.120s\nhealthy:  %.120s", env.Data, want)
+	}
+}
+
+// TestChaosSoakStream wires streaming into the chaos soak: the follower
+// tails a log whose delivery order was corrupted by the seeded stream
+// chaos plan (duplicates, one-day reordering, arrivals past the
+// watermark) while the log grows underneath it and concurrent clients
+// long-poll /v1/stream. The contract under chaos: every response is a
+// clean 200 with a monotonic watermark, delivery defects land as
+// quarantine counters rather than errors, and those counters are a
+// deterministic function of the chaos seed — exactly the counts an
+// offline replay of the same corrupted record sequence produces.
+func TestChaosSoakStream(t *testing.T) {
+	study := StudyConfig{Seed: 12, Days: 60, Racks: [2]int{4, 3}}
+	res, err := simulate.Run(study.simConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := stream.Records(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := faults.NewChaos(faults.ChaosConfig{
+		Seed:                9,
+		StreamReorderRate:   0.10,
+		StreamDuplicateRate: 0.08,
+		StreamLateRate:      0.04,
+	})
+	corrupted := stream.CorruptRecords(recs, ch)
+
+	// Expected counters come from an offline replay of the identical
+	// corrupted sequence — the live follower must land on the same ones.
+	var buf bytes.Buffer
+	if err := stream.WriteLog(&buf, corrupted); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	rd, err := stream.NewReader(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := stream.Replay(context.Background(), rd, stream.Config{
+		Sim: study.simConfig(1), DisableRefit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStats := want.Stats()
+	if wantStats.Late == 0 || wantStats.Duplicates == 0 {
+		t.Fatalf("chaos plan injected no stream defects: %+v", wantStats)
+	}
+
+	// The log grows under the follower: a third to start, the rest
+	// appended while clients are parked on long-polls. Cut points are
+	// frame boundaries by construction (whole records re-encoded).
+	var third bytes.Buffer
+	if err := stream.WriteLog(&third, corrupted[:len(corrupted)/3]); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "chaos.log")
+	if err := os.WriteFile(path, third.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{
+		Workers: 1,
+		Logf:    func(string, ...any) {},
+		build:   failingBuild(),
+		Follow: &FollowConfig{
+			Path:         path,
+			Study:        study,
+			PollInterval: 2 * time.Millisecond,
+			LongPoll:     5 * time.Second,
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Follow(ctx) }()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		if err := os.WriteFile(path, full, 0o644); err != nil {
+			t.Errorf("appending log: %v", err)
+		}
+	}()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			watermark := -1
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				url := ts.URL + "/v1/stream"
+				if watermark >= 0 {
+					url = fmt.Sprintf("%s?watermark=%d", url, watermark)
+				}
+				body, resp := getStreamStatus(t, url)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("/v1/stream = %d, want 200 under stream chaos", resp.StatusCode)
+					return
+				}
+				if body.Error != "" {
+					t.Errorf("follower surfaced an error under stream chaos: %s", body.Error)
+					return
+				}
+				if body.Watermark < watermark {
+					t.Errorf("watermark went backwards: %d -> %d", watermark, body.Watermark)
+					return
+				}
+				watermark = body.Watermark
+				if body.Sealed {
+					return
+				}
+				if time.Now().After(deadline) {
+					t.Errorf("stream never sealed (watermark %d)", watermark)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatalf("Follow: %v", err)
+	}
+
+	snap := fetchSnapshot(t, ts.URL)
+	if snap.Stream == nil {
+		t.Fatal("/metricz has no stream section")
+	}
+	if !snap.Stream.Sealed || snap.Stream.Watermark != study.Days || snap.Stream.Lag != 0 {
+		t.Fatalf("stream counters = %+v, want sealed at %d with zero lag", snap.Stream, study.Days)
+	}
+	if snap.Stream.Late != wantStats.Late || snap.Stream.Duplicates != wantStats.Duplicates {
+		t.Fatalf("quarantines not deterministic: live %d late / %d dup, offline replay %d late / %d dup",
+			snap.Stream.Late, snap.Stream.Duplicates, wantStats.Late, wantStats.Duplicates)
+	}
+	if snap.Stream.RecordsIn != wantStats.RecordsIn {
+		t.Fatalf("records in = %d, offline replay saw %d", snap.Stream.RecordsIn, wantStats.RecordsIn)
+	}
+	if snap.Stream.Refits == 0 {
+		t.Fatal("live refitter never ran under stream chaos")
 	}
 }
 

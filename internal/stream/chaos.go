@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"rainshine/internal/faults"
+)
+
+// CorruptRecords perturbs a canonical record sequence (as produced by
+// Records, seal last) with the chaos plan's stream-delivery defects:
+// duplicated events and tickets, records deferred into the next day
+// (out of order but inside the default lateness slack, so the replayed
+// study stays byte-identical), and records deferred past the watermark
+// (quarantined as LateArrival on replay). The perturbation is a pure
+// function of (chaos seed, sequence position); deferred records whose
+// release day never arrives are delivered just before the seal.
+func CorruptRecords(recs []Record, ch *faults.Chaos) []Record {
+	if ch == nil || len(recs) == 0 {
+		return recs
+	}
+	out := make([]Record, 0, len(recs)+len(recs)/8)
+
+	// pending holds deferred records keyed by release day, flushed in
+	// day order as delivery time reaches them.
+	pending := map[int32][]Record{}
+	flushed := int32(0) // release days < flushed are already delivered
+	flush := func(upto int32) {
+		for d := flushed; d <= upto; d++ {
+			out = append(out, pending[d]...)
+			delete(pending, d)
+		}
+		if upto+1 > flushed {
+			flushed = upto + 1
+		}
+	}
+	flushAll := func() {
+		for len(pending) > 0 {
+			min := int32(0)
+			first := true
+			for d := range pending {
+				if first || d < min {
+					min, first = d, false
+				}
+			}
+			out = append(out, pending[min]...)
+			delete(pending, min)
+		}
+	}
+
+	day := int32(0)
+	for pos := range recs {
+		r := recs[pos]
+		if r.Kind == KindSeal {
+			flushAll()
+			out = append(out, r)
+			continue
+		}
+		if r.Day > day {
+			day = r.Day
+			flush(day)
+		}
+		if late, ok := ch.StreamLate(pos); ok {
+			pending[r.Day+int32(late)] = append(pending[r.Day+int32(late)], r)
+			continue
+		}
+		if ch.StreamReorder(pos) {
+			pending[r.Day+1] = append(pending[r.Day+1], r)
+			continue
+		}
+		out = append(out, r)
+		if (r.Kind == KindEvent || r.Kind == KindTicket) && ch.StreamDuplicate(pos) {
+			out = append(out, r)
+		}
+	}
+	flushAll()
+	return out
+}

@@ -1,0 +1,204 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"rainshine/internal/simulate"
+	"rainshine/internal/ticket"
+)
+
+// sampleRecords covers every kind with awkward payloads: NaN sensor
+// readings, negative (clock-skewed) ticket days, fault codes outside
+// the taxonomy — the bytes a dirty study actually streams.
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: KindClimate, Rack: 3, Day: 0, TempF: 71.5, RH: 44.25},
+		{Kind: KindClimate, Rack: 0, Day: 929, TempF: math.NaN(), RH: math.NaN()},
+		{Kind: KindEvent, Seq: 12, Day: 5, Event: simulate.Event{
+			Rack: 7, Day: 5, Hour: 13.5, Component: 0, RepairHours: 6.25,
+			Device: 41, Shock: true,
+		}},
+		{Kind: KindTicket, Seq: 9934, Day: -2, Ticket: ticket.Ticket{
+			ID: 10001, Day: -2, Hour: 2.75, DC: 1, Rack: 55, Fault: 999,
+			FalsePositive: true, RepairHours: 12.5, Component: 2,
+			Device: 3, Repeat: 4,
+		}},
+		{Kind: KindSeal, Day: 930},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, want := range sampleRecords() {
+		payload, err := appendPayload(nil, &want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodePayload(payload)
+		if err != nil {
+			t.Fatalf("%s: %v", want.Kind, err)
+		}
+		// NaN != NaN defeats DeepEqual on struct floats; compare via the
+		// re-encoded bytes, which carry exact bit patterns.
+		back, err := appendPayload(nil, &got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(payload, back) {
+			t.Fatalf("%s: round-trip changed payload bytes", want.Kind)
+		}
+	}
+}
+
+func TestCodecNaNFidelity(t *testing.T) {
+	rec := Record{Kind: KindClimate, Rack: 1, Day: 2, TempF: math.NaN(), RH: 33}
+	payload, err := appendPayload(nil, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodePayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got.TempF) || got.RH != 33 {
+		t.Fatalf("NaN reading did not survive: %+v", got)
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Records() != int64(len(recs)) {
+		t.Fatalf("Records() = %d, want %d", w.Records(), len(recs))
+	}
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rec)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	// Seal and plain-float records compare exactly.
+	if !reflect.DeepEqual(got[4], recs[4]) || !reflect.DeepEqual(got[0], recs[0]) {
+		t.Fatalf("records changed in transit")
+	}
+}
+
+// validLog builds a well-formed log of the sample records.
+func validLog(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// drain reads records until the first error and returns it.
+func drain(data []byte) error {
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	for {
+		if _, err := rd.Next(); err != nil {
+			return err
+		}
+	}
+}
+
+func TestReaderTypedErrors(t *testing.T) {
+	log := validLog(t)
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short magic", log[:5], ErrTruncated},
+		{"bad magic", append([]byte("XXXXXXXX"), log[8:]...), ErrBadMagic},
+		{"clean end", log, io.EOF},
+		{"torn header", log[:len(log)-3-int(sealSize)], ErrTruncated},
+		{"torn payload", log[:len(log)-2], ErrTruncated},
+	}
+	for _, tc := range cases {
+		if err := drain(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: error = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	flipped := append([]byte(nil), log...)
+	flipped[len(flipped)-1] ^= 0x40 // corrupt the seal payload
+	if err := drain(flipped); !errors.Is(err, ErrChecksum) {
+		t.Errorf("bit flip: error = %v, want ErrChecksum", err)
+	}
+
+	oversize := append([]byte(nil), log[:8]...)
+	oversize = append(oversize, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0)
+	if err := drain(oversize); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize: error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestWriterRejectsUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Kind: Kind(99)}
+	if err := w.Write(&rec); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("unknown kind write error = %v, want ErrBadRecord", err)
+	}
+}
+
+func TestDecodeRejectsWrongLength(t *testing.T) {
+	rec := Record{Kind: KindClimate, Rack: 1, Day: 1}
+	payload, err := appendPayload(nil, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodePayload(payload[:len(payload)-1]); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("short payload error = %v, want ErrBadRecord", err)
+	}
+	if _, err := decodePayload(append(payload, 0)); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("long payload error = %v, want ErrBadRecord", err)
+	}
+	if _, err := decodePayload(nil); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("empty payload error = %v, want ErrBadRecord", err)
+	}
+	if _, err := decodePayload([]byte{77}); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("unknown kind error = %v, want ErrBadRecord", err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package stream is the continuous-ingestion layer: an append-only,
+// CRC-framed log of timestamped fleet telemetry (climate readings,
+// hardware failure events, RMA tickets), seeded sources that replay a
+// simulation as such a log, and an incremental maintainer that keeps a
+// live study current as a watermark closes days.
+//
+// The paper's pipeline is strictly batch — simulate → ingest → fit —
+// but the fleets it models emit telemetry continuously (the Cloud
+// Uptime Archive's traces are collected, not dumped). The contract that
+// makes streaming safe here is determinism: a study replayed from its
+// log is byte-identical to the batch study over the same data, because
+// day-close reconstructs the exact batch-order record slices (events
+// and tickets each by their batch sequence number) and hands them to
+// the same analysis code path.
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"rainshine/internal/failure"
+	"rainshine/internal/simulate"
+	"rainshine/internal/ticket"
+)
+
+// math64 / unmath64 move float64 payload fields through their exact bit
+// patterns, so NaN readings injected by the fault layer replay
+// bit-identically.
+func math64(f float64) uint64   { return math.Float64bits(f) }
+func unmath64(u uint64) float64 { return math.Float64frombits(u) }
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Kind tags one record of the stream log.
+type Kind uint8
+
+// Record kinds. Values are part of the on-disk format; never renumber.
+const (
+	// KindClimate is one rack-day sensor reading (temperature, RH).
+	KindClimate Kind = 1
+	// KindEvent is one hardware device failure (ground-truth telemetry;
+	// the rack-day λ frame counts these, so the log must carry them).
+	KindEvent Kind = 2
+	// KindTicket is one RMA ticket.
+	KindTicket Kind = 3
+	// KindSeal closes the stream: every remaining day closes and the
+	// study is final.
+	KindSeal Kind = 4
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindClimate:
+		return "climate"
+	case KindEvent:
+		return "event"
+	case KindTicket:
+		return "ticket"
+	case KindSeal:
+		return "seal"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one log entry. Day is the event time that drives the
+// watermark; the payload fields used depend on Kind.
+type Record struct {
+	Kind Kind
+	// Day is the observation day the record reports on. For KindSeal it
+	// is the day count being sealed (every day < Day closes).
+	Day int32
+	// Seq is the canonical-order key: the index the event or ticket
+	// holds in the batch Result slice. Day-close sorts committed records
+	// by Seq, reconstructing the exact batch-order slices regardless of
+	// delivery order. (For tickets Seq is deliberately not the ticket
+	// ID: the fault injector appends duplicate tickets next to their
+	// original under a fresh ID, so batch order is not ID order.)
+	// Unused for climate readings (keyed by rack-day) and seals.
+	Seq int64
+
+	// Climate payload.
+	Rack  int32
+	TempF float64
+	RH    float64
+
+	// Event payload (Event.Day mirrors Day).
+	Event simulate.Event
+
+	// Ticket payload (Ticket.ID mirrors Seq, Ticket.Day mirrors Day).
+	Ticket ticket.Ticket
+}
+
+// Typed decode errors. Readers surface exactly these (wrapped with
+// position context); corrupt input never panics.
+var (
+	// ErrBadMagic means the log does not start with the format header.
+	ErrBadMagic = errors.New("stream: bad log magic")
+	// ErrTruncated means the log ends mid-record (a torn write).
+	ErrTruncated = errors.New("stream: truncated record")
+	// ErrChecksum means a record's payload fails its CRC.
+	ErrChecksum = errors.New("stream: record checksum mismatch")
+	// ErrTooLarge means a record header claims an implausible length
+	// (framing corruption; also bounds decoder allocation).
+	ErrTooLarge = errors.New("stream: record too large")
+	// ErrBadRecord means a payload's kind or shape is malformed.
+	ErrBadRecord = errors.New("stream: malformed record")
+)
+
+// Fixed payload sizes per kind (kind byte included). Field values are
+// encoded wide (int32/int64/float64) on purpose: the dirty-data mode
+// streams corrupted telemetry — NaN readings, out-of-range days, fault
+// codes outside the taxonomy — and the log must carry those bytes
+// faithfully for replay to reproduce the batch scrub.
+const (
+	climateSize = 1 + 4 + 4 + 8 + 8
+	eventSize   = 1 + 8 + 4 + 4 + 8 + 4 + 8 + 4 + 1
+	ticketSize  = 1 + 8 + 4 + 4 + 8 + 4 + 4 + 4 + 1 + 8 + 4 + 4 + 4
+	sealSize    = 1 + 4
+	maxPayload  = ticketSize
+)
+
+// appendPayload encodes r's payload (kind byte first, little-endian
+// fields) onto buf.
+func appendPayload(buf []byte, r *Record) ([]byte, error) {
+	buf = append(buf, byte(r.Kind))
+	switch r.Kind {
+	case KindClimate:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Rack))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Day))
+		buf = binary.LittleEndian.AppendUint64(buf, math64(r.TempF))
+		buf = binary.LittleEndian.AppendUint64(buf, math64(r.RH))
+	case KindEvent:
+		ev := &r.Event
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Seq))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.Rack))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.Day))
+		buf = binary.LittleEndian.AppendUint64(buf, math64(ev.Hour))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.Component))
+		buf = binary.LittleEndian.AppendUint64(buf, math64(ev.RepairHours))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.Device))
+		buf = append(buf, boolByte(ev.Shock))
+	case KindTicket:
+		t := &r.Ticket
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Seq))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.ID))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Day))
+		buf = binary.LittleEndian.AppendUint64(buf, math64(t.Hour))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.DC))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Rack))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Fault))
+		buf = append(buf, boolByte(t.FalsePositive))
+		buf = binary.LittleEndian.AppendUint64(buf, math64(t.RepairHours))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Component))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Device))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.Repeat))
+	case KindSeal:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Day))
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadRecord, r.Kind)
+	}
+	return buf, nil
+}
+
+// decodePayload inverts appendPayload. The payload length must exactly
+// match the kind's fixed size.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) == 0 {
+		return Record{}, fmt.Errorf("%w: empty payload", ErrBadRecord)
+	}
+	var r Record
+	r.Kind = Kind(p[0])
+	var want int
+	switch r.Kind {
+	case KindClimate:
+		want = climateSize
+	case KindEvent:
+		want = eventSize
+	case KindTicket:
+		want = ticketSize
+	case KindSeal:
+		want = sealSize
+	default:
+		return Record{}, fmt.Errorf("%w: unknown kind %d", ErrBadRecord, p[0])
+	}
+	if len(p) != want {
+		return Record{}, fmt.Errorf("%w: kind %s payload %d bytes, want %d",
+			ErrBadRecord, r.Kind, len(p), want)
+	}
+	b := p[1:]
+	switch r.Kind {
+	case KindClimate:
+		r.Rack = int32(binary.LittleEndian.Uint32(b[0:]))
+		r.Day = int32(binary.LittleEndian.Uint32(b[4:]))
+		r.TempF = unmath64(binary.LittleEndian.Uint64(b[8:]))
+		r.RH = unmath64(binary.LittleEndian.Uint64(b[16:]))
+	case KindEvent:
+		r.Seq = int64(binary.LittleEndian.Uint64(b[0:]))
+		r.Event = simulate.Event{
+			Rack:        int32(binary.LittleEndian.Uint32(b[8:])),
+			Day:         int32(binary.LittleEndian.Uint32(b[12:])),
+			Hour:        unmath64(binary.LittleEndian.Uint64(b[16:])),
+			Component:   failure.Component(int32(binary.LittleEndian.Uint32(b[24:]))),
+			RepairHours: unmath64(binary.LittleEndian.Uint64(b[28:])),
+			Device:      int32(binary.LittleEndian.Uint32(b[36:])),
+			Shock:       b[40] != 0,
+		}
+		r.Day = r.Event.Day
+	case KindTicket:
+		r.Seq = int64(binary.LittleEndian.Uint64(b[0:]))
+		r.Ticket = ticket.Ticket{
+			ID:            int(int32(binary.LittleEndian.Uint32(b[8:]))),
+			Day:           int(int32(binary.LittleEndian.Uint32(b[12:]))),
+			Hour:          unmath64(binary.LittleEndian.Uint64(b[16:])),
+			DC:            int(int32(binary.LittleEndian.Uint32(b[24:]))),
+			Rack:          int(int32(binary.LittleEndian.Uint32(b[28:]))),
+			Fault:         ticket.Fault(int32(binary.LittleEndian.Uint32(b[32:]))),
+			FalsePositive: b[36] != 0,
+			RepairHours:   unmath64(binary.LittleEndian.Uint64(b[37:])),
+			Component:     failure.Component(int32(binary.LittleEndian.Uint32(b[45:]))),
+			Device:        int(int32(binary.LittleEndian.Uint32(b[49:]))),
+			Repeat:        int(int32(binary.LittleEndian.Uint32(b[53:]))),
+		}
+		r.Day = int32(r.Ticket.Day)
+	case KindSeal:
+		r.Day = int32(binary.LittleEndian.Uint32(b[0:]))
+	}
+	return r, nil
+}

@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"rainshine/internal/simulate"
+)
+
+// Records converts a simulation result into the canonical timestamped
+// record sequence a live fleet would have emitted: for each observation
+// day, the day's sensor readings (rack ascending), then its hardware
+// failure events, then its RMA tickets; records whose recorded day lies
+// outside the observation window (clock-skewed dirty tickets) follow
+// the last day — their impossible dates mean no watermark can admit or
+// expire them — and a seal closes the stream.
+//
+// Every event and ticket carries its batch slice index as Seq, so a
+// maintainer replaying the sequence (in this order or any
+// chaos-perturbed reordering of it) reconstructs the exact batch-order
+// slices at day-close.
+func Records(res *simulate.Result) ([]Record, error) {
+	if res == nil || res.Climate == nil {
+		return nil, fmt.Errorf("stream: nil result")
+	}
+	days, racks := res.Days, res.Climate.Racks()
+	total := racks*days + len(res.Events) + len(res.Tickets) + 1
+	out := make([]Record, 0, total)
+
+	// Events and tickets bucketed by in-window day; out-of-window
+	// tickets keep batch order in a residual bucket.
+	evByDay := make([][]int, days)
+	for i, ev := range res.Events {
+		d := int(ev.Day)
+		if d < 0 || d >= days {
+			return nil, fmt.Errorf("stream: event %d day %d outside window [0,%d)", i, d, days)
+		}
+		evByDay[d] = append(evByDay[d], i)
+	}
+	tkByDay := make([][]int, days)
+	var residual []int
+	for i, t := range res.Tickets {
+		if t.Day < 0 || t.Day >= days {
+			residual = append(residual, i)
+			continue
+		}
+		tkByDay[t.Day] = append(tkByDay[t.Day], i)
+	}
+
+	for d := 0; d < days; d++ {
+		for ri := 0; ri < racks; ri++ {
+			c, err := res.Climate.At(ri, d)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Record{
+				Kind: KindClimate, Rack: int32(ri), Day: int32(d),
+				TempF: c.TempF, RH: c.RH,
+			})
+		}
+		for _, i := range evByDay[d] {
+			out = append(out, Record{
+				Kind: KindEvent, Seq: int64(i), Day: int32(d),
+				Event: res.Events[i],
+			})
+		}
+		for _, i := range tkByDay[d] {
+			out = append(out, Record{
+				Kind: KindTicket, Seq: int64(i), Day: int32(d),
+				Ticket: res.Tickets[i],
+			})
+		}
+	}
+	for _, i := range residual {
+		out = append(out, Record{
+			Kind: KindTicket, Seq: int64(i), Day: int32(res.Tickets[i].Day),
+			Ticket: res.Tickets[i],
+		})
+	}
+	out = append(out, Record{Kind: KindSeal, Day: int32(days)})
+	return out, nil
+}
+
+// WriteLog writes a full record sequence as a log on w (magic plus one
+// frame per record).
+func WriteLog(w io.Writer, recs []Record) error {
+	lw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for i := range recs {
+		if err := lw.Write(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteStudyLog renders a simulation result as a complete stream log:
+// Records ordering, sealed at the end.
+func WriteStudyLog(w io.Writer, res *simulate.Result) error {
+	recs, err := Records(res)
+	if err != nil {
+		return err
+	}
+	return WriteLog(w, recs)
+}
