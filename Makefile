@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-fleet bench-fleet-check stream-replay stream-replay-check serve-load soak repro outputs examples fuzz clean
+.PHONY: all build vet lint test race bench bench-fleet bench-fleet-check bench-fleet-multicore stream-replay stream-replay-check serve-load soak repro outputs examples fuzz clean
 
 all: build vet lint test
 
@@ -40,16 +40,32 @@ bench:
 # with -benchmem, then TestBenchFleet, which fails if cart_fit_20k or
 # cart_fit_1m_binned regressed >15% ns/op against BENCH_analysis.json
 # and merges fresh numbers into the snapshot (recording the
-# cart_fit_1m_exact baseline on first run).
+# cart_fit_1m_exact baseline on first run), then the typed coding-pass
+# gate (>=2x over the float64 layout, coding_pass_1m_typed mark).
+# Recorded marks carry gomaxprocs; gates only engage like-for-like.
 bench-fleet:
 	$(GO) test -run XXX -bench 'CARTFit1MBinned$$' -benchmem -count=1 .
 	RAINSHINE_BENCH_FLEET=1 RAINSHINE_BENCH_OUT=$(CURDIR)/BENCH_analysis.json \
 		$(GO) test -run 'TestBenchFleet$$' -count=1 -v .
+	RAINSHINE_BENCH_FLEET=1 RAINSHINE_BENCH_OUT=$(CURDIR)/BENCH_analysis.json \
+		RAINSHINE_BENCH_SNAP=$(CURDIR)/BENCH_analysis.json \
+		$(GO) test -run 'TestBenchFleetCodingPass$$' -count=1 -v ./internal/cart/
 
 # Gate-only variant for CI: compares against the committed snapshot
 # without rewriting it.
 bench-fleet-check:
 	RAINSHINE_BENCH_FLEET=1 $(GO) test -run 'TestBenchFleet$$' -count=1 -v .
+	RAINSHINE_BENCH_FLEET=1 \
+		$(GO) test -run 'TestBenchFleetCodingPass$$' -count=1 -v ./internal/cart/
+
+# Multicore gate (needs >=4 procs; skips with a log on narrower boxes):
+# the 1M-row binned fit with Workers=GOMAXPROCS must be byte-identical
+# to serial and >=2x faster, best-of-5 vs best-of-3. Check-only — set
+# RAINSHINE_BENCH_OUT to merge cart_fit_1m_binned_multicore into a
+# snapshot on a box where the numbers are reproducible.
+bench-fleet-multicore:
+	RAINSHINE_BENCH_FLEET=1 \
+		$(GO) test -run 'TestBenchFleetMulticore$$' -count=1 -timeout 20m -v ./internal/cart/
 
 # Streaming gate: the streamed-vs-batch byte-identity replay tests under
 # the race detector, then TestBenchStreamRefit, which fails unless the
@@ -104,6 +120,7 @@ examples:
 fuzz:
 	$(GO) test -fuzz FuzzReadFrameCSV -fuzztime 30s ./internal/export/
 	$(GO) test -fuzz FuzzNullBitmapRoundTrip -fuzztime 30s ./internal/export/
+	$(GO) test -fuzz FuzzTypedColumnCSVRoundTrip -fuzztime 30s ./internal/export/
 	$(GO) test -fuzz FuzzTicketsCSVRoundTrip -fuzztime 30s ./internal/export/
 	$(GO) test -fuzz FuzzIngestTickets -fuzztime 30s ./internal/ingest/
 	$(GO) test -fuzz FuzzQuantile -fuzztime 30s ./internal/stats/

@@ -18,7 +18,6 @@ package rainshine
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -26,6 +25,7 @@ import (
 	"sync"
 	"testing"
 
+	"rainshine/internal/benchsnap"
 	"rainshine/internal/cart"
 	"rainshine/internal/failure"
 	"rainshine/internal/figures"
@@ -443,86 +443,23 @@ func BenchmarkCrossValidate(b *testing.B) {
 }
 
 // --- regression snapshot ---
-
-// benchResult is one measurement row of BENCH_analysis.json. N is the
-// iteration count testing.Benchmark settled on — persisted for every
-// entry the current harness records, so a reader can judge how much
-// averaging backs a number. Note annotates entries whose provenance
-// needs explaining (e.g. historical baselines recorded before the
-// harness persisted N).
-type benchResult struct {
-	NsPerOp     int64  `json:"ns_per_op"`
-	BytesPerOp  int64  `json:"bytes_per_op"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
-	N           int    `json:"n"`
-	Note        string `json:"note,omitempty"`
-}
-
-// benchDoc is the BENCH_analysis.json schema: committed reference
-// results plus named baselines the results are judged against.
-type benchDoc struct {
-	GoMaxProcs int                    `json:"gomaxprocs"`
-	GoVersion  string                 `json:"go_version"`
-	Baselines  map[string]benchResult `json:"baselines"`
-	Results    map[string]benchResult `json:"results"`
-}
-
-// readBenchDoc loads a snapshot so writers merge into it rather than
-// clobber keys other recorders own (TestBenchAnalysis and TestBenchFleet
-// both write the same file).
-func readBenchDoc(path string) (benchDoc, error) {
-	doc := benchDoc{
-		Baselines: map[string]benchResult{},
-		Results:   map[string]benchResult{},
-	}
-	buf, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return doc, nil
-	}
-	if err != nil {
-		return doc, err
-	}
-	if err := json.Unmarshal(buf, &doc); err != nil {
-		return doc, fmt.Errorf("%s: %w", path, err)
-	}
-	if doc.Baselines == nil {
-		doc.Baselines = map[string]benchResult{}
-	}
-	if doc.Results == nil {
-		doc.Results = map[string]benchResult{}
-	}
-	return doc, nil
-}
-
-func writeBenchDoc(path string, doc benchDoc) error {
-	doc.GoMaxProcs = runtime.GOMAXPROCS(0)
-	doc.GoVersion = runtime.Version()
-	buf, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
-}
+//
+// The snapshot schema and merge/gate helpers live in
+// internal/benchsnap, shared with the bench-gating tests inside
+// internal/cart (coding pass, multicore fit). Every fresh measurement
+// carries the GOMAXPROCS it ran under, and gates only fire when the
+// recorded entry was measured at the same parallelism (Doc.Budget).
 
 // prePresortBaselines returns the serial numbers recorded at commit
 // e2fc823, before the presorted exact engine landed. The harness of
 // that era did not persist iteration counts, so n stays 0 with a note
 // saying why — the numbers themselves remain the before/after record.
-func prePresortBaselines() map[string]benchResult {
+func prePresortBaselines() map[string]benchsnap.Result {
 	const note = "pre-presort engine, commit e2fc823; harness predated n persistence"
-	return map[string]benchResult{
+	return map[string]benchsnap.Result{
 		"pre_presort_cart_fit_20k":        {NsPerOp: 15598789, BytesPerOp: 3341797, AllocsPerOp: 632, Note: note},
 		"pre_presort_cart_crossvalidate":  {NsPerOp: 769345, BytesPerOp: 357633, AllocsPerOp: 2051, Note: note},
 		"pre_presort_q3_climate_guidance": {NsPerOp: 352200698, BytesPerOp: 67588568, AllocsPerOp: 7457, Note: note},
-	}
-}
-
-func snapshotOf(r testing.BenchmarkResult) benchResult {
-	return benchResult{
-		NsPerOp:     r.NsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-		N:           r.N,
 	}
 }
 
@@ -546,7 +483,7 @@ func TestBenchAnalysis(t *testing.T) {
 		{"figure_regen", BenchmarkFigureRegen},
 		{"predict_train", BenchmarkPredictTrain},
 	}
-	doc, err := readBenchDoc(out)
+	doc, err := benchsnap.Read(out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -558,37 +495,13 @@ func TestBenchAnalysis(t *testing.T) {
 		if r.N == 0 {
 			t.Fatalf("%s: benchmark did not run", m.name)
 		}
-		doc.Results[m.name] = snapshotOf(r)
+		doc.Results[m.name] = benchsnap.Of(r)
 		t.Logf("%s: %v", m.name, r)
 	}
-	if err := writeBenchDoc(out, doc); err != nil {
+	if err := benchsnap.Write(out, doc); err != nil {
 		t.Fatalf("writing %s: %v", out, err)
 	}
 	fmt.Printf("bench snapshot written to %s\n", out)
-}
-
-// measureGated re-runs a benchmark until its fastest run lands within
-// the regression gate, up to attempts runs. Min-of-k is the noise-robust
-// estimator for a shared CI box — a scheduling stall inflates one run
-// but rarely five — and stopping early on a pass keeps the happy path
-// at a single run. budget <= 0 means no gate: measure min-of-3 for a
-// stable recording.
-func measureGated(fn func(*testing.B), budget int64, attempts int) testing.BenchmarkResult {
-	var best testing.BenchmarkResult
-	for i := 0; i < attempts; i++ {
-		r := testing.Benchmark(fn)
-		if r.N > 0 && (best.N == 0 || r.NsPerOp() < best.NsPerOp()) {
-			best = r
-		}
-		if budget > 0 {
-			if best.N > 0 && best.NsPerOp() <= budget {
-				break
-			}
-		} else if i >= 2 {
-			break
-		}
-	}
-	return best
 }
 
 // TestBenchStreamRefit is the streaming gate behind `make stream-replay`:
@@ -604,17 +517,13 @@ func TestBenchStreamRefit(t *testing.T) {
 		t.Skip("RAINSHINE_BENCH_STREAM unset; run via `make stream-replay`")
 	}
 	const gate = 0.15
-	recorded, err := readBenchDoc("BENCH_analysis.json")
+	recorded, err := benchsnap.Read("BENCH_analysis.json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var budget int64
-	rec, haveRec := recorded.Results["incremental_refit_20k"]
-	if haveRec && rec.NsPerOp > 0 {
-		budget = int64(float64(rec.NsPerOp) * (1 + gate))
-	}
-	inc := measureGated(BenchmarkIncrementalRefit20k, budget, 5)
-	full := measureGated(BenchmarkFullRefit20k, 0, 3)
+	budget := recorded.Budget("incremental_refit_20k", gate)
+	inc := benchsnap.MeasureGated(BenchmarkIncrementalRefit20k, budget, 5)
+	full := benchsnap.MeasureGated(BenchmarkFullRefit20k, 0, 3)
 	if inc.N == 0 || full.N == 0 {
 		t.Fatal("refit benchmarks did not run")
 	}
@@ -625,10 +534,14 @@ func TestBenchStreamRefit(t *testing.T) {
 			inc.NsPerOp(), full.NsPerOp())
 	}
 	if budget > 0 {
+		rec := recorded.Results["incremental_refit_20k"]
 		if ratio := float64(inc.NsPerOp()) / float64(rec.NsPerOp); ratio > 1+gate {
 			t.Errorf("incremental_refit_20k regressed: %d ns/op vs recorded %d (%+.1f%%, gate +%.0f%%)",
 				inc.NsPerOp(), rec.NsPerOp, (ratio-1)*100, gate*100)
 		}
+	} else if rec, ok := recorded.Results["incremental_refit_20k"]; ok && rec.NsPerOp > 0 {
+		t.Logf("incremental_refit_20k: recorded at gomaxprocs=%d, running at %d; gate skipped (not like-for-like)",
+			recorded.Procs(rec), runtime.GOMAXPROCS(0))
 	} else {
 		t.Log("incremental_refit_20k: no recorded result to gate against")
 	}
@@ -636,15 +549,15 @@ func TestBenchStreamRefit(t *testing.T) {
 	if out == "" {
 		return
 	}
-	doc, err := readBenchDoc(out)
+	doc, err := benchsnap.Read(out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	doc.Results["incremental_refit_20k"] = snapshotOf(inc)
-	base := snapshotOf(full)
+	doc.Results["incremental_refit_20k"] = benchsnap.Of(inc)
+	base := benchsnap.Of(full)
 	base.Note = "from-scratch refit over the same 20k+day rows; the incremental gate's comparator"
 	doc.Baselines["full_refit_20k"] = base
-	if err := writeBenchDoc(out, doc); err != nil {
+	if err := benchsnap.Write(out, doc); err != nil {
 		t.Fatalf("writing %s: %v", out, err)
 	}
 	fmt.Printf("stream bench snapshot merged into %s\n", out)
@@ -662,7 +575,7 @@ func TestBenchFleet(t *testing.T) {
 		t.Skip("RAINSHINE_BENCH_FLEET unset; run via `make bench-fleet`")
 	}
 	const gate = 0.15
-	recorded, err := readBenchDoc("BENCH_analysis.json")
+	recorded, err := benchsnap.Read("BENCH_analysis.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -673,23 +586,25 @@ func TestBenchFleet(t *testing.T) {
 		{"cart_fit_20k", BenchmarkCARTFit},
 		{"cart_fit_1m_binned", BenchmarkCARTFit1MBinned},
 	}
-	fresh := map[string]benchResult{}
+	fresh := map[string]benchsnap.Result{}
 	for _, m := range marks {
-		var budget int64
-		rec, ok := recorded.Results[m.name]
-		if ok && rec.NsPerOp > 0 {
-			budget = int64(float64(rec.NsPerOp) * (1 + gate))
-		}
-		r := measureGated(m.fn, budget, 5)
+		budget := recorded.Budget(m.name, gate)
+		r := benchsnap.MeasureGated(m.fn, budget, 5)
 		if r.N == 0 {
 			t.Fatalf("%s: benchmark did not run", m.name)
 		}
-		fresh[m.name] = snapshotOf(r)
+		fresh[m.name] = benchsnap.Of(r)
 		t.Logf("%s: %v", m.name, r)
 		if budget == 0 {
-			t.Logf("%s: no recorded result to gate against", m.name)
+			if rec, ok := recorded.Results[m.name]; ok && rec.NsPerOp > 0 {
+				t.Logf("%s: recorded at gomaxprocs=%d, running at %d; gate skipped (not like-for-like)",
+					m.name, recorded.Procs(rec), runtime.GOMAXPROCS(0))
+			} else {
+				t.Logf("%s: no recorded result to gate against", m.name)
+			}
 			continue
 		}
+		rec := recorded.Results[m.name]
 		if ratio := float64(r.NsPerOp()) / float64(rec.NsPerOp); ratio > 1+gate {
 			t.Errorf("%s regressed: %d ns/op vs recorded %d (%+.1f%%, gate +%.0f%%)",
 				m.name, r.NsPerOp(), rec.NsPerOp, (ratio-1)*100, gate*100)
@@ -699,7 +614,7 @@ func TestBenchFleet(t *testing.T) {
 	if out == "" {
 		return
 	}
-	doc, err := readBenchDoc(out)
+	doc, err := benchsnap.Read(out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -708,12 +623,12 @@ func TestBenchFleet(t *testing.T) {
 	}
 	if _, ok := doc.Baselines["cart_fit_1m_exact"]; !ok {
 		r := testing.Benchmark(benchCARTFit1MExact)
-		base := snapshotOf(r)
+		base := benchsnap.Of(r)
 		base.Note = "presorted exact engine at 1M rows; reference for the binned speedup"
 		doc.Baselines["cart_fit_1m_exact"] = base
 		t.Logf("cart_fit_1m_exact baseline: %v", r)
 	}
-	if err := writeBenchDoc(out, doc); err != nil {
+	if err := benchsnap.Write(out, doc); err != nil {
 		t.Fatalf("writing %s: %v", out, err)
 	}
 	fmt.Printf("fleet bench snapshot merged into %s\n", out)

@@ -26,7 +26,8 @@
 //	                   -build-timeout, -max-concurrent, -max-queue,
 //	                   -q3-concurrent, -q3-queue, -rps, -burst,
 //	                   -breaker-threshold, -breaker-cooldown,
-//	                   -chaos, -chaos-seed; see README)
+//	                   -chaos, -chaos-seed, -cpuprofile, -memprofile;
+//	                   see README)
 //	stream <out.log>   simulate and write the append-only stream log ("-" = stdout)
 //	stream replay <f>  replay a stream log through the watermark maintainer and
 //	                   print the canonical study envelope (byte-identical to the
@@ -48,10 +49,13 @@
 //	-workers N  worker goroutines for simulation and analysis (default 0 =
 //	            all CPUs, 1 = serial; every count yields identical output)
 //	-bins N     histogram bin cap for the fleet-scale binned CART split
-//	            search (default 255, clamped to [2,255]; small studies
-//	            below the auto-binning threshold are unaffected)
+//	            search (default 255; values outside [2,255] are rejected
+//	            at flag parse; small studies below the auto-binning
+//	            threshold are unaffected)
 //	-exact      force exact (presorted) CART split search at any data
 //	            size — the audit path for binned results
+//	-cpuprofile F  write a CPU profile of the run to file F (pprof format)
+//	-memprofile F  write a heap profile at exit to file F (pprof format)
 package main
 
 import (
@@ -65,6 +69,7 @@ import (
 	"strings"
 
 	"rainshine"
+	"rainshine/internal/cart"
 )
 
 func main() {
@@ -74,7 +79,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("rainshine", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 42, "root RNG seed")
 	days := fs.Int("days", 930, "observation window in days")
@@ -84,8 +89,10 @@ func run(args []string) error {
 	dirty := fs.Bool("faults", false, "inject the default deterministic fault mix (dirty-data mode)")
 	workers := fs.Int("workers", 0,
 		"worker goroutines for simulation and analysis (0 = all CPUs, 1 = serial; results identical)")
-	bins := fs.Int("bins", 0, "histogram bin cap for binned CART split search (0 = default 255)")
+	bins := fs.Int("bins", 0, "histogram bin cap for binned CART split search (0 = default 255, else 2-255)")
 	exact := fs.Bool("exact", false, "force exact CART split search at any data size")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,6 +101,20 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("missing command (try: rainshine -small all)")
 	}
+	// Reject a bad bin budget here, before any simulation spends time;
+	// the same typed check guards the WithBins option inside NewStudy.
+	if err := cart.ValidateBins(*bins); err != nil {
+		return fmt.Errorf("-bins: %s", strings.TrimPrefix(err.Error(), "cart: "))
+	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	opts := []rainshine.Option{rainshine.WithSeed(*seed), rainshine.WithDays(*days)}
 	if *workers != 0 {

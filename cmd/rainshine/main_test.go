@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -153,10 +154,35 @@ func TestRunArgErrors(t *testing.T) {
 		withTiny("fig", "abc"),         // bad figure number
 		withTiny("export"),             // missing export target
 		withTiny("q1", "nope"),         // bad workload
+		{"-bins", "1", "summary"},      // bin budget below 2 (pre-study)
+		{"-bins", "256", "summary"},    // bin budget past the byte range
+		{"-bins", "-3", "summary"},     // negative bin budget
+		{"-cpuprofile", "/nonexistent-dir/cpu.out", "summary"}, // unwritable profile path (pre-study)
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) should error", args)
+		}
+	}
+}
+
+// TestProfileFlagsWriteFiles runs a tiny study with both profile flags
+// and checks that non-empty pprof files land where asked.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	args := []string{"-racks", "8,8", "-days", "45", "-cpuprofile", cpu, "-memprofile", mem, "summary"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
 		}
 	}
 }
@@ -184,6 +210,10 @@ func TestParseServeFlags(t *testing.T) {
 	// -cache-size is the backward-compatible alias for -cache.
 	if cfg, err = parseServeFlags([]string{"-cache-size", "3"}); err != nil || cfg.cache != 3 {
 		t.Errorf("-cache-size alias: cfg=%+v err=%v", cfg, err)
+	}
+	cfg, err = parseServeFlags([]string{"-cpuprofile", "cpu.out", "-memprofile", "mem.out"})
+	if err != nil || cfg.cpuprofile != "cpu.out" || cfg.memprofile != "mem.out" {
+		t.Errorf("profile flags: cfg=%+v err=%v", cfg, err)
 	}
 	cfg, err = parseServeFlags([]string{
 		"-build-timeout", "2m", "-max-concurrent", "64", "-max-queue", "0",

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles begins CPU profiling to cpuPath and arranges a heap
+// profile at memPath, either of which may be empty. The returned stop
+// function ends the CPU profile and writes the heap snapshot (after a
+// GC, so it reflects live memory rather than collectible garbage); it
+// must be called exactly once, on the way out. Shared by the batch
+// commands and the serve daemon.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("-cpuprofile: %w", err)
+			}
+		}
+		if memPath != "" {
+			memFile, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+			defer memFile.Close()
+			runtime.GC() // snapshot live objects, not collectible garbage
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

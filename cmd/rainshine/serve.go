@@ -43,6 +43,9 @@ type serveConfig struct {
 	followRacks    string
 	followFaults   bool
 	followLateness int
+
+	cpuprofile string
+	memprofile string
 }
 
 // parseServeFlags parses and validates the serve flags without binding
@@ -89,6 +92,10 @@ func parseServeFlags(args []string) (serveConfig, error) {
 		"the followed stream carries the default dirty-data fault mix")
 	followLateness := fs.Int("follow-lateness", 0,
 		"out-of-order slack in days before the watermark closes a day (0 = 1 day, negative = none)")
+	cpuprofile := fs.String("cpuprofile", "",
+		"write a CPU profile covering the daemon's whole lifetime to this file")
+	memprofile := fs.String("memprofile", "",
+		"write a heap profile at shutdown to this file")
 	if err := fs.Parse(args); err != nil {
 		return serveConfig{}, err
 	}
@@ -174,6 +181,8 @@ func parseServeFlags(args []string) (serveConfig, error) {
 		followRacks:      *followRacks,
 		followFaults:     *followFaults,
 		followLateness:   *followLateness,
+		cpuprofile:       *cpuprofile,
+		memprofile:       *memprofile,
 	}, nil
 }
 
@@ -235,11 +244,20 @@ func (cfg serveConfig) serverConfig() server.Config {
 
 // serveCmd runs the analysis daemon until SIGINT/SIGTERM, then drains
 // in-flight requests and exits cleanly.
-func serveCmd(args []string) error {
+func serveCmd(args []string) (err error) {
 	cfg, err := parseServeFlags(args)
 	if err != nil {
 		return err
 	}
+	stopProfiles, err := startProfiles(cfg.cpuprofile, cfg.memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	srv := server.New(cfg.serverConfig())
 	hs := &http.Server{
 		Addr:              cfg.addr,

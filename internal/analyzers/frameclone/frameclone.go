@@ -15,7 +15,9 @@
 // from a deep-tainted frame (Col/MustCol/ColAt) and chunks derived from
 // such columns (Chunk/Chunks) alias caller-visible storage; calling
 // MarkNull/SetMissing on them is reported unless the column was first
-// re-pointed at a Clone. Unexported functions are builders operating on
+// re-pointed at a Clone. Codes() on such a column hands out the backing
+// byte-code array itself, so element stores through the returned slice
+// are reported the same way. Unexported functions are builders operating on
 // locally owned frames and are exempt; the package defining Frame is
 // the implementation and is skipped entirely.
 package frameclone
@@ -42,6 +44,9 @@ var mutators = map[string]bool{
 	"AddNominalInts":    true,
 	"AddNominalStrings": true,
 	"AddOrdinalInts":    true,
+	"AddNominalCodes":   true,
+	"AddOrdinalCodes":   true,
+	"AddColumn":         true,
 }
 
 // cellMutators are the null-bitmap writers on columns and chunks (deep
@@ -164,6 +169,7 @@ type state struct {
 	deep   map[*types.Var]bool // frame vars whose cell storage is shared
 	col    map[*types.Var]bool // column vars viewing shared cell storage
 	chunk  map[*types.Var]bool // chunk vars viewing shared cell storage
+	codes  map[*types.Var]bool // byte slices from Codes() of shared columns
 }
 
 // event is one taint-relevant statement, replayed in source order.
@@ -179,6 +185,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		deep:   map[*types.Var]bool{},
 		col:    map[*types.Var]bool{},
 		chunk:  map[*types.Var]bool{},
+		codes:  map[*types.Var]bool{},
 	}
 	sig, ok := pass.TypesInfo.Defs[fd.Name].Type().(*types.Signature)
 	if !ok {
@@ -199,6 +206,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			events = append(events, assignEvents(pass, n)...)
+			events = append(events, codesStoreEvents(pass, n)...)
 		case *ast.RangeStmt:
 			if ev, ok := rangeEvent(pass, n); ok {
 				events = append(events, ev)
@@ -276,8 +284,64 @@ func classifyAssign(pass *analysis.Pass, pos token.Pos, obj *types.Var, rhs ast.
 		return columnAssign(pass, pos, obj, rhs), true
 	case isChunk(obj.Type()):
 		return chunkAssign(pass, pos, obj, rhs), true
+	case isByteSlice(obj.Type()):
+		return codesAssign(pass, pos, obj, rhs), true
 	}
 	return event{}, false
+}
+
+// isByteSlice matches []uint8 (equivalently []byte), the type Codes()
+// hands out.
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// codesAssign tracks byte slices: Codes() on a shared column hands out
+// the column's backing code array itself, so the slice inherits the
+// column's view taint; a plain alias propagates it; anything else (a
+// fresh make, an owned buffer) clears it.
+func codesAssign(pass *analysis.Pass, pos token.Pos, obj *types.Var, rhs ast.Expr) event {
+	if name, recv, ok := methodCall(pass, rhs, isColumnPtr); ok && name == "Codes" {
+		return event{pos, func(st *state, _ func(token.Pos, string)) {
+			setTaint(st.codes, obj, recv != nil && st.col[recv])
+		}}
+	}
+	if src := aliasSource(pass, rhs); src != nil {
+		return event{pos, func(st *state, _ func(token.Pos, string)) { setTaint(st.codes, obj, st.codes[src]) }}
+	}
+	return event{pos, func(st *state, _ func(token.Pos, string)) { delete(st.codes, obj) }}
+}
+
+// codesStoreEvents matches element stores (codes[i] = v, including
+// op-assigns) through a tracked byte slice: writing there rewrites the
+// shared column's cells in place.
+func codesStoreEvents(pass *analysis.Pass, as *ast.AssignStmt) []event {
+	var out []event
+	for _, lhs := range as.Lhs {
+		ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		id, ok := ast.Unparen(ix.X).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+		if !ok || !isByteSlice(obj.Type()) {
+			continue
+		}
+		out = append(out, event{as.Pos(), func(st *state, report func(token.Pos, string)) {
+			if st.codes[obj] {
+				report(ix.Pos(), "writing through "+id.Name+", which aliases a shared column's byte-code storage; Clone the column first")
+			}
+		}})
+	}
+	return out
 }
 
 func frameAssign(pass *analysis.Pass, pos token.Pos, obj *types.Var, rhs ast.Expr) event {

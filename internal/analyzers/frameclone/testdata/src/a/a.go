@@ -114,3 +114,63 @@ func ChunkOfOwnedColumn(f *frame.Frame) {
 		ch.MarkNull(0)
 	}
 }
+
+// MutateCodes attaches a byte-coded column onto the shared parameter.
+func MutateCodes(f *frame.Frame) {
+	f.AddNominalCodes("k", nil, nil) // want `attaching a column to f, which aliases a parameter frame`
+}
+
+// MutateOrdinalCodes attaches an ordered byte-coded column.
+func MutateOrdinalCodes(f *frame.Frame) {
+	f.AddOrdinalCodes("k", nil, nil) // want `attaching a column to f, which aliases a parameter frame`
+}
+
+// MutateAddColumn attaches a prebuilt column onto the shared parameter.
+func MutateAddColumn(f *frame.Frame) {
+	f.AddColumn(frame.Column{Name: "k"}) // want `attaching a column to f, which aliases a parameter frame`
+}
+
+// ClonedCodes attaches byte-coded columns after re-pointing (negative).
+func ClonedCodes(f *frame.Frame) {
+	f = f.ShallowClone()
+	f.AddNominalCodes("k", nil, nil)
+	f.AddColumn(frame.Column{Name: "m"})
+}
+
+// WriteCodes stores through the code slice of a shared column view.
+func WriteCodes(f *frame.Frame) {
+	c := f.MustCol("x")
+	codes := c.Codes()
+	codes[0] = 1 // want `writing through codes, which aliases a shared column's byte-code storage`
+}
+
+// WriteCodesAlias propagates the slice taint through a plain alias.
+func WriteCodesAlias(f *frame.Frame) {
+	c := f.MustCol("x")
+	codes := c.Codes()
+	cs := codes
+	cs[0] = 1 // want `writing through cs, which aliases a shared column's byte-code storage`
+}
+
+// WriteClonedCodes stores through a cloned column's codes (negative).
+func WriteClonedCodes(f *frame.Frame) {
+	c := f.MustCol("x").Clone()
+	codes := c.Codes()
+	codes[0] = 1
+}
+
+// WriteOwnedCodes stores through a locally built buffer (negative).
+func WriteOwnedCodes(f *frame.Frame) {
+	codes := make([]uint8, 4)
+	codes[0] = 1
+	f = f.ShallowClone()
+	f.AddNominalCodes("k", codes, nil)
+}
+
+// WriteSubsetCodes stores through a cell-owning frame's codes (negative).
+func WriteSubsetCodes(f *frame.Frame) {
+	g := f.Subset(nil)
+	c := g.MustCol("x")
+	codes := c.Codes()
+	codes[0] = 1
+}

@@ -7,8 +7,12 @@ package frame
 type Column struct {
 	Name  string
 	Data  []float64
+	codes []uint8
 	nulls []bool
 }
+
+// Codes exposes the byte-coded backing array (shared storage).
+func (c *Column) Codes() []uint8 { return c.codes }
 
 // MarkNull records a null without disturbing the raw value.
 func (c *Column) MarkNull(i int) { c.nulls[i] = true }
@@ -103,4 +107,21 @@ func (f *Frame) AddNominalInts(name string, data []int) {
 		vals[i] = float64(v)
 	}
 	f.AddContinuous(name, vals)
+}
+
+// AddNominalCodes attaches a byte-coded categorical column in place.
+func (f *Frame) AddNominalCodes(name string, codes []uint8, levels []string) {
+	f.cols = append(f.cols, Column{Name: name, codes: codes})
+	f.names = append(f.names, name)
+}
+
+// AddOrdinalCodes attaches a byte-coded ordered column in place.
+func (f *Frame) AddOrdinalCodes(name string, codes []uint8, levels []string) {
+	f.AddNominalCodes(name, codes, levels)
+}
+
+// AddColumn attaches a prebuilt column in place, sharing its storage.
+func (f *Frame) AddColumn(c Column) {
+	f.cols = append(f.cols, c)
+	f.names = append(f.names, c.Name)
 }

@@ -1,0 +1,148 @@
+// Package benchsnap owns the BENCH_analysis.json regression-snapshot
+// schema: committed reference measurements plus named baselines they are
+// judged against. It exists as a package (rather than test-local types)
+// so every bench-gating test in the module — the root harness's fleet
+// and streaming gates, internal/cart's coding-pass and multicore gates —
+// merges into the same file without clobbering keys another recorder
+// owns.
+//
+// Like-for-like gating: every measurement recorded by the current
+// harness carries the GOMAXPROCS it ran under (older entries fall back
+// to the document-level value). Gates must compare a fresh number only
+// against a snapshot taken at the same parallelism — a 4-core box
+// re-measuring a 1-core recording of a parallel fit would either fail
+// spuriously or pass vacuously. Doc.Procs reports the recorded value;
+// callers skip (and log) when it differs from runtime.GOMAXPROCS(0).
+package benchsnap
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// Result is one measurement row. N is the iteration count
+// testing.Benchmark settled on — persisted so a reader can judge how
+// much averaging backs a number. GoMaxProcs is the parallelism the
+// measurement ran under (0 on entries recorded before the field
+// existed; Doc.Procs falls back to the document level). Note annotates
+// entries whose provenance needs explaining.
+type Result struct {
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	N           int    `json:"n"`
+	GoMaxProcs  int    `json:"gomaxprocs,omitempty"`
+	Note        string `json:"note,omitempty"`
+}
+
+// Doc is the BENCH_analysis.json schema. The document-level GoMaxProcs
+// and GoVersion record the environment of the last writer; per-mark
+// parallelism lives on each Result.
+type Doc struct {
+	GoMaxProcs int               `json:"gomaxprocs"`
+	GoVersion  string            `json:"go_version"`
+	Baselines  map[string]Result `json:"baselines"`
+	Results    map[string]Result `json:"results"`
+}
+
+// Procs returns the parallelism a recorded entry was measured under,
+// falling back to the document-level value for entries that predate the
+// per-mark field.
+func (d Doc) Procs(r Result) int {
+	if r.GoMaxProcs > 0 {
+		return r.GoMaxProcs
+	}
+	return d.GoMaxProcs
+}
+
+// Read loads a snapshot so writers merge into it rather than clobber
+// keys other recorders own. A missing file is an empty document.
+func Read(path string) (Doc, error) {
+	doc := Doc{
+		Baselines: map[string]Result{},
+		Results:   map[string]Result{},
+	}
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return doc, nil
+	}
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Baselines == nil {
+		doc.Baselines = map[string]Result{}
+	}
+	if doc.Results == nil {
+		doc.Results = map[string]Result{}
+	}
+	return doc, nil
+}
+
+// Write stamps the current environment and persists the document.
+func Write(path string, doc Doc) error {
+	doc.GoMaxProcs = runtime.GOMAXPROCS(0)
+	doc.GoVersion = runtime.Version()
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// Of converts a benchmark result into a snapshot row, stamping the
+// parallelism it ran under.
+func Of(r testing.BenchmarkResult) Result {
+	return Result{
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		N:           r.N,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+}
+
+// MeasureGated re-runs a benchmark until its fastest run lands within
+// the regression gate, up to attempts runs. Min-of-k is the noise-robust
+// estimator for a shared CI box — a scheduling stall inflates one run
+// but rarely five — and stopping early on a pass keeps the happy path
+// at a single run. budget <= 0 means no gate: measure min-of-3 for a
+// stable recording.
+func MeasureGated(fn func(*testing.B), budget int64, attempts int) testing.BenchmarkResult {
+	var best testing.BenchmarkResult
+	for i := 0; i < attempts; i++ {
+		r := testing.Benchmark(fn)
+		if r.N > 0 && (best.N == 0 || r.NsPerOp() < best.NsPerOp()) {
+			best = r
+		}
+		if budget > 0 {
+			if best.N > 0 && best.NsPerOp() <= budget {
+				break
+			}
+		} else if i >= 2 {
+			break
+		}
+	}
+	return best
+}
+
+// Budget converts a recorded entry into a gate budget: the recorded
+// ns/op inflated by the gate fraction, or 0 (no gate) when the entry is
+// absent, empty, or was measured under a different GOMAXPROCS than the
+// current run (like-for-like gating).
+func (d Doc) Budget(name string, gate float64) int64 {
+	rec, ok := d.Results[name]
+	if !ok || rec.NsPerOp <= 0 {
+		return 0
+	}
+	if d.Procs(rec) != runtime.GOMAXPROCS(0) {
+		return 0
+	}
+	return int64(float64(rec.NsPerOp) * (1 + gate))
+}

@@ -17,8 +17,14 @@ package cart
 // coding pass is chunked on frame.ChunkRows boundaries with per-chunk
 // partials merged in chunk order, per-feature scans run through
 // parallel.ForEachWorker with per-slot scratch and reduce in feature
-// order, and the permutation partition is a stable single-threaded
-// scatter. The fitted tree is byte-identical for every worker count.
+// order, and histogram builds pick their shape (feature-parallel for
+// wide frames and single-chunk nodes, chunk x feature-parallel with a
+// chunk-ordered merge otherwise) from the data shape alone — never from
+// the worker count, which would change float accumulation order. The
+// permutation partition is a stable scatter whose parallel two-pass
+// form produces the identical permutation to the serial form, so that
+// choice alone may consult the worker count. The fitted tree is
+// byte-identical for every worker count.
 //
 // Threshold consistency: training routes rows by byte code, prediction
 // routes raw floats by Node.Threshold. The coding pass tracks each
@@ -42,6 +48,14 @@ const (
 	// binGrid is the resolution of the uniform value grid the byte LUT
 	// quantizes through: value -> grid cell -> bin.
 	binGrid = 1 << 16
+	// wideFrameFeatures is the candidate-feature count at which the
+	// histogram build stays feature-parallel for multi-chunk nodes: the
+	// feature axis alone saturates the worker pool, and per-feature
+	// blocks need no per-chunk slabs or merge. Below it, multi-chunk
+	// nodes split each feature's scan across chunks. A shape rule only —
+	// it must never consult the worker count (see the determinism
+	// contract above).
+	wideFrameFeatures = 64
 )
 
 // binFeat is the per-feature binning metadata.
@@ -132,6 +146,15 @@ type binnedBuilder struct {
 	featSplit []bsplit
 	featOK    []bool
 	scratch   []*binScratch
+
+	// histPart is the pooled per-chunk slab buffer of the chunk x
+	// feature-parallel histogram build (nChunks x histLen); grown lazily,
+	// reused across nodes (the tree grows serially, so at most one
+	// buildHist is in flight).
+	histPart []float64
+	// leftCnt holds the per-chunk left-row counts of the two-pass
+	// parallel partition.
+	leftCnt []int
 }
 
 // fitBinned grows the tree with the histogram engine. The Tree arrives
@@ -201,11 +224,50 @@ func (b *binnedBuilder) prepare(cols []*frame.Column) error {
 		return err
 	}
 
+	if err := b.codeFeatures(cols); err != nil {
+		return err
+	}
+
+	statW := 3
+	if b.cfg.Task == Classification {
+		statW = b.nClasses
+	}
+	b.off = make([]int, nf+1)
+	maxNb := 0
+	for fi := range b.feats {
+		b.off[fi+1] = b.off[fi] + b.feats[fi].nb*statW
+		if b.feats[fi].nb > maxNb {
+			maxNb = b.feats[fi].nb
+		}
+	}
+	b.histLen = b.off[nf]
+	slots := b.workers
+	if slots > nf {
+		slots = nf
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	b.scratch = make([]*binScratch, slots)
+	for w := range b.scratch {
+		b.scratch[w] = newBinScratch(b.nClasses, maxNb)
+	}
+	return nil
+}
+
+// codeFeatures is the coding pass: every feature's cells become byte
+// codes in b.codes, missing cells become missingCode, and continuous
+// features collect their per-bin value ranges. Typed categorical
+// columns copy their uint8 codes straight through; float64-backed cells
+// round-trip through validation. Fans over (feature, chunk) tasks with
+// per-task min/max partials merged in task order.
+func (b *binnedBuilder) codeFeatures(cols []*frame.Column) error {
+	nf := len(cols)
 	bounds := frame.ChunkBounds(b.n, frame.ChunkRows)
 	nTasks := nf * len(bounds)
 	partMin := make([][]float64, nTasks)
 	partMax := make([][]float64, nTasks)
-	err = parallel.ForEach(b.ctx, b.cfg.Workers, nTasks, func(ti int) error {
+	err := parallel.ForEach(b.ctx, b.cfg.Workers, nTasks, func(ti int) error {
 		fi, ci := ti/len(bounds), ti%len(bounds)
 		c := cols[fi]
 		ft := &b.feats[fi]
@@ -220,6 +282,28 @@ func (b *binnedBuilder) prepare(cols []*frame.Column) error {
 		nulls := c.Nulls()
 		if c.Kind != frame.Continuous {
 			nb := ft.nb
+			if cc := ch.Codes; cc != nil {
+				// Typed columns already hold byte codes: a straight copy,
+				// rewriting null-marked and out-of-range cells to the
+				// missing sentinel — no float64 round-trip.
+				if !nulls.Any() {
+					for i, cd := range cc {
+						if int(cd) >= nb {
+							cd = missingCode
+						}
+						codes[ch.Lo+i] = cd
+					}
+					return nil
+				}
+				for i, cd := range cc {
+					r := ch.Lo + i
+					if int(cd) >= nb || nulls.Get(r) {
+						cd = missingCode
+					}
+					codes[r] = cd
+				}
+				return nil
+			}
 			for i, v := range ch.Data {
 				r := ch.Lo + i
 				code := uint8(missingCode)
@@ -278,31 +362,6 @@ func (b *binnedBuilder) prepare(cols []*frame.Column) error {
 				ft.binMax[c] = partMax[ti][c]
 			}
 		}
-	}
-
-	statW := 3
-	if b.cfg.Task == Classification {
-		statW = b.nClasses
-	}
-	b.off = make([]int, nf+1)
-	maxNb := 0
-	for fi := range b.feats {
-		b.off[fi+1] = b.off[fi] + b.feats[fi].nb*statW
-		if b.feats[fi].nb > maxNb {
-			maxNb = b.feats[fi].nb
-		}
-	}
-	b.histLen = b.off[nf]
-	slots := b.workers
-	if slots > nf {
-		slots = nf
-	}
-	if slots < 1 {
-		slots = 1
-	}
-	b.scratch = make([]*binScratch, slots)
-	for w := range b.scratch {
-		b.scratch[w] = newBinScratch(b.nClasses, maxNb)
 	}
 	return nil
 }
@@ -505,47 +564,100 @@ func subtractHist(parent, child []float64) {
 	}
 }
 
-// buildHist accumulates per-feature histograms over perm[lo:hi], fanned
-// across the pool one feature per task. Counts exclude missing cells
-// (available-case splitting); the stable partition keeps perm monotone
-// inside the range, so the gathers stream forward through the arrays.
+// buildHist accumulates per-feature histograms over perm[lo:hi] into h
+// (which arrives zeroed). Counts exclude missing cells (available-case
+// splitting); the stable partition keeps perm monotone inside the
+// range, so the gathers stream forward through the arrays.
+//
+// Two fan-out shapes, chosen by data shape alone — never by worker
+// count, which would change the float accumulation order and break the
+// byte-identical-for-every--workers contract:
+//
+//   - feature-parallel: one task per feature, each accumulating its
+//     disjoint block of h directly (no atomics, no merge). Engages for
+//     wide frames (>= wideFrameFeatures candidates), where the feature
+//     axis alone saturates the pool, and for single-chunk nodes.
+//   - chunk x feature-parallel: narrow frames with multi-chunk nodes
+//     split each feature's scan on fixed frame.ChunkRows boundaries
+//     into disjoint per-chunk slabs, then merge each feature's slabs in
+//     chunk order — a fixed association whatever the worker count.
+//
+// A canceled context leaves some blocks zero or partial; the scans then
+// find little and growth stops, and fitBinned reports ctx.Err().
 func (b *binnedBuilder) buildHist(lo, hi int, h []float64) {
-	// A canceled context leaves some blocks zero; the scans then find
-	// nothing and growth stops, and fitBinned reports ctx.Err().
-	_ = parallel.ForEachWorker(b.ctx, b.cfg.Workers, len(b.codes), func(w, fi int) error {
+	nf := len(b.codes)
+	bounds := frame.ChunkBounds(hi-lo, frame.ChunkRows)
+	if nf >= wideFrameFeatures || len(bounds) <= 1 {
+		_ = parallel.ForEach(b.ctx, b.cfg.Workers, nf, func(fi int) error {
+			o := b.off[fi]
+			if width := b.off[fi+1] - o; width > 0 {
+				b.histFeature(fi, lo, hi, h[o:o+width])
+			}
+			return nil
+		})
+		return
+	}
+	nc := len(bounds)
+	need := nc * b.histLen
+	if cap(b.histPart) < need {
+		b.histPart = make([]float64, need)
+	}
+	part := b.histPart[:need]
+	clear(part)
+	_ = parallel.ForEach(b.ctx, b.cfg.Workers, nf*nc, func(ti int) error {
+		fi, ci := ti/nc, ti%nc
+		o := b.off[fi]
+		if width := b.off[fi+1] - o; width > 0 {
+			slab := part[ci*b.histLen+o : ci*b.histLen+o+width]
+			b.histFeature(fi, lo+bounds[ci][0], lo+bounds[ci][1], slab)
+		}
+		return nil
+	})
+	_ = parallel.ForEach(b.ctx, b.cfg.Workers, nf, func(fi int) error {
 		o := b.off[fi]
 		width := b.off[fi+1] - o
 		if width == 0 {
 			return nil
 		}
 		block := h[o : o+width]
-		codes := b.codes[fi]
-		if b.cfg.Task == Regression {
-			for i := lo; i < hi; i++ {
-				r := b.perm[i]
-				c := codes[r]
-				if c == missingCode {
-					continue
-				}
-				yv := b.y[r]
-				p := 3 * int(c)
-				block[p]++
-				block[p+1] += yv
-				block[p+2] += yv * yv
+		for ci := 0; ci < nc; ci++ {
+			slab := part[ci*b.histLen+o : ci*b.histLen+o+width]
+			for j, v := range slab {
+				block[j] += v
 			}
-			return nil
 		}
-		k := b.nClasses
+		return nil
+	})
+}
+
+// histFeature accumulates feature fi's histogram over perm[lo:hi) into
+// block (the feature's statW*nb stats, accumulated in row order).
+func (b *binnedBuilder) histFeature(fi, lo, hi int, block []float64) {
+	codes := b.codes[fi]
+	if b.cfg.Task == Regression {
 		for i := lo; i < hi; i++ {
 			r := b.perm[i]
 			c := codes[r]
 			if c == missingCode {
 				continue
 			}
-			block[int(c)*k+int(b.y[r])]++
+			yv := b.y[r]
+			p := 3 * int(c)
+			block[p]++
+			block[p+1] += yv
+			block[p+2] += yv * yv
 		}
-		return nil
-	})
+		return
+	}
+	k := b.nClasses
+	for i := lo; i < hi; i++ {
+		r := b.perm[i]
+		c := codes[r]
+		if c == missingCode {
+			continue
+		}
+		block[int(c)*k+int(b.y[r])]++
+	}
 }
 
 // bestSplit scans every feature's histogram for the impurity-minimizing
@@ -877,6 +989,14 @@ func (b *binnedBuilder) childAggs(n *Node, parent nodeAgg, sp bsplit) (l, r node
 // partition stably scatters perm[lo:hi] into [left | right] by byte
 // code through a 256-entry route table, so the row scan is branch-free.
 // Missing rows (code 255) follow DefaultLeft. Returns the boundary.
+//
+// Multi-chunk nodes with a real worker pool run a two-pass parallel
+// scatter: count each chunk's left rows, prefix-sum the per-chunk
+// cursors, then scatter every chunk into its disjoint target ranges.
+// Chunk order is row order, so the result is the identical permutation
+// the serial scatter produces — which is why this choice alone may
+// consult the worker count (unlike histogram shapes, no float
+// accumulation is at stake).
 func (b *binnedBuilder) partition(n *Node, sp bsplit, lo, hi, leftN int) int {
 	var tab [256]uint8
 	if b.tree.Features[sp.feature].Kind == frame.Nominal {
@@ -895,6 +1015,49 @@ func (b *binnedBuilder) partition(n *Node, sp bsplit, lo, hi, leftN int) int {
 	}
 	codes := b.codes[sp.feature]
 	tmp := b.permTmp
+	if bounds := frame.ChunkBounds(hi-lo, frame.ChunkRows); b.workers > 1 && len(bounds) > 1 {
+		nc := len(bounds)
+		if cap(b.leftCnt) < nc {
+			b.leftCnt = make([]int, nc)
+		}
+		lefts := b.leftCnt[:nc]
+		err := parallel.ForEach(b.ctx, b.cfg.Workers, nc, func(ci int) error {
+			cnt := 0
+			for i := lo + bounds[ci][0]; i < lo+bounds[ci][1]; i++ {
+				cnt += int(tab[codes[b.perm[i]]])
+			}
+			lefts[ci] = cnt
+			return nil
+		})
+		if err == nil {
+			// Cursor bases per chunk: lefts (rights) of earlier chunks
+			// land first in the left (right) half.
+			leftBefore := 0
+			for ci := 0; ci < nc; ci++ {
+				lb := leftBefore
+				leftBefore += lefts[ci]
+				lefts[ci] = lb
+			}
+			_ = parallel.ForEach(b.ctx, b.cfg.Workers, nc, func(ci int) error {
+				l := lo + lefts[ci]
+				rr := lo + leftN + (bounds[ci][0] - lefts[ci])
+				for i := lo + bounds[ci][0]; i < lo+bounds[ci][1]; i++ {
+					row := b.perm[i]
+					t := int(tab[codes[row]])
+					mask := -t // t==1: all ones selects the left cursor
+					pos := (l & mask) | (rr &^ mask)
+					tmp[pos] = row
+					l += t
+					rr += 1 - t
+				}
+				return nil
+			})
+			copy(b.perm[lo:hi], tmp[lo:hi])
+			return lo + leftN
+		}
+		// Canceled mid-count: fall through to the serial scatter, whose
+		// result is valid regardless; growth stops at the next checkpoint.
+	}
 	l, rr := lo, lo+leftN
 	for i := lo; i < hi; i++ {
 		row := b.perm[i]

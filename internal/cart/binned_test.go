@@ -373,3 +373,196 @@ func TestBinnedAllMissingFeature(t *testing.T) {
 		t.Errorf("all-null feature earned importance %g", imp)
 	}
 }
+
+// multiChunkFrame builds a frame whose root node spans several
+// frame.ChunkRows windows, so the binned engine's chunk-sliced histogram
+// build and two-pass parallel partition both engage.
+func multiChunkFrame(t testing.TB, n int) *frame.Frame {
+	t.Helper()
+	src := rng.New(41)
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	cat := make([]uint8, n)
+	y := make([]float64, n)
+	for i := range y {
+		x1[i] = src.Float64() * 100
+		x2[i] = src.NormFloat64() * 5
+		cat[i] = uint8(src.IntN(6))
+		if src.Float64() < 0.02 {
+			cat[i] = 250 // out-of-range sentinel: reads as missing
+		}
+		y[i] = x1[i]*0.05 + float64(cat[i]%6) + src.NormFloat64()*0.3
+	}
+	f := frame.New(n)
+	if err := f.AddContinuous("x1", x1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddContinuous("x2", x2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddNominalCodes("cat", cat, []string{"a", "b", "c", "d", "e", "f"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddContinuous("y", y); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestBinnedMultiChunkDeterministic pins byte-identical trees across
+// worker counts on a frame whose nodes exceed one chunk, covering the
+// chunk x feature histogram slabs and the two-pass parallel partition
+// (the 5000-row tests above only ever see single-chunk nodes).
+func TestBinnedMultiChunkDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-chunk frame needs >128Ki rows")
+	}
+	f := multiChunkFrame(t, 3*frame.ChunkRows/2+100)
+	var want string
+	for run := 0; run < 2; run++ {
+		for _, w := range workerCounts {
+			cfg := Config{Task: Regression, Split: SplitBinned, MaxDepth: 5, CP: 0.001, Workers: w}
+			tree, err := Fit(f, "y", []string{"x1", "x2", "cat"}, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tree.NumLeaves() < 2 {
+				t.Fatal("degenerate tree")
+			}
+			got := tree.String()
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("workers=%d run=%d grew a different tree on a multi-chunk node", w, run)
+			}
+		}
+	}
+}
+
+// TestBinnedWideFrameDeterministic pins determinism on a frame wide
+// enough (>= wideFrameFeatures candidates) that the histogram build
+// switches to the feature-parallel strategy regardless of node size.
+func TestBinnedWideFrameDeterministic(t *testing.T) {
+	n := 4000
+	src := rng.New(43)
+	f := frame.New(n)
+	names := make([]string, 0, wideFrameFeatures+4)
+	y := make([]float64, n)
+	for fi := 0; fi < wideFrameFeatures+4; fi++ {
+		name := "f" + string(rune('0'+fi/10)) + string(rune('0'+fi%10))
+		names = append(names, name)
+		if fi%2 == 0 {
+			col := make([]float64, n)
+			for i := range col {
+				col[i] = src.Float64() * 10
+				y[i] += col[i] * float64(fi%5) * 0.01
+			}
+			if err := f.AddContinuous(name, col); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		codes := make([]uint8, n)
+		for i := range codes {
+			codes[i] = uint8(src.IntN(4))
+			y[i] += float64(codes[i]) * float64(fi%3) * 0.02
+		}
+		if err := f.AddNominalCodes(name, codes, []string{"p", "q", "r", "s"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.AddContinuous("y", y); err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	for _, w := range workerCounts {
+		cfg := Config{Task: Regression, Split: SplitBinned, MaxDepth: 5, CP: 0.0005, Workers: w}
+		tree, err := Fit(f, "y", names, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.NumLeaves() < 2 {
+			t.Fatal("degenerate tree")
+		}
+		got := tree.String()
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("workers=%d grew a different tree on a wide frame", w)
+		}
+	}
+}
+
+// TestBinnedTypedMatchesLegacy: a frame built from adopted uint8 codes
+// (including out-of-range missing sentinels) must train exactly the tree
+// its float64-backed twin trains — physical column layout is invisible
+// to the learner.
+func TestBinnedTypedMatchesLegacy(t *testing.T) {
+	n := 6000
+	src := rng.New(47)
+	codes := make([]uint8, n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range y {
+		codes[i] = uint8(src.IntN(5))
+		if src.Float64() < 0.05 {
+			codes[i] = 200
+		}
+		x[i] = src.Float64() * 40
+		y[i] = x[i]*0.1 + float64(codes[i]%5) + src.NormFloat64()*0.2
+	}
+	levels := []string{"a", "b", "c", "d", "e"}
+	typed := frame.New(n)
+	if err := typed.AddNominalCodes("cat", append([]uint8(nil), codes...), levels); err != nil {
+		t.Fatal(err)
+	}
+	if err := typed.AddContinuous("x", x); err != nil {
+		t.Fatal(err)
+	}
+	if err := typed.AddContinuous("y", y); err != nil {
+		t.Fatal(err)
+	}
+	// AddNominalInts would auto-type this column too, so build the
+	// float64-backed twin explicitly: raw level indexes with the NaN
+	// missing sentinel, exactly the pre-typed physical layout.
+	legacy := frame.New(n)
+	floats := make([]float64, n)
+	for i, cd := range codes {
+		if cd < 5 {
+			floats[i] = float64(cd)
+		} else {
+			floats[i] = math.NaN()
+		}
+	}
+	if err := legacy.AddColumn(frame.Column{
+		Name: "cat", Kind: frame.Nominal, Data: floats,
+		Levels: append([]string(nil), levels...),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.MustCol("cat").Codes() != nil {
+		t.Fatal("twin construction broken: expected float64 storage")
+	}
+	if err := legacy.AddContinuous("x", x); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.AddContinuous("y", y); err != nil {
+		t.Fatal(err)
+	}
+	for _, split := range []SplitMethod{SplitExact, SplitBinned} {
+		cfg := Config{Task: Regression, Split: split, MaxDepth: 5, CP: 0.001}
+		tt, err := Fit(typed, "y", []string{"cat", "x"}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt, err := Fit(legacy, "y", []string{"cat", "x"}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tt.String() != lt.String() {
+			t.Errorf("split=%d: typed-code frame trained a different tree than its float64 twin", split)
+		}
+	}
+}

@@ -95,6 +95,30 @@ const (
 	missingCode = 255
 )
 
+// BinsRangeError reports a Config.Bins value outside the representable
+// range. The binned engine needs at least two bins to express a split
+// and at most 255 so every bin code plus the missing sentinel fits a
+// byte. Option and flag layers surface this at configuration time
+// (errors.As-matchable); Config.withDefaults still clamps silently for
+// callers that construct a Config directly.
+type BinsRangeError struct {
+	Bins int
+}
+
+func (e *BinsRangeError) Error() string {
+	return fmt.Sprintf("cart: bins %d out of range [2, 255] (0 means the default %d)", e.Bins, DefaultBins)
+}
+
+// ValidateBins checks a bin-budget setting at configuration time: 0 is
+// "use DefaultBins"; anything else must land in [2, 255]. Returns a
+// *BinsRangeError otherwise.
+func ValidateBins(n int) error {
+	if n == 0 || (n >= 2 && n <= 255) {
+		return nil
+	}
+	return &BinsRangeError{Bins: n}
+}
+
 // Config holds the stopping and growth rules.
 type Config struct {
 	Task Task
@@ -229,32 +253,27 @@ func FitContext(ctx context.Context, f *frame.Frame, target string, features []s
 		return nil, err
 	}
 	t := &Tree{Target: target, Task: cfg.Task}
-	// Materialize the target. Missing targets — non-finite values or
-	// ingest null marks alike — are an error: a row without a response
-	// cannot train.
+	// Materialize the target (Values decodes typed label columns to
+	// dense float64 class indices). Missing targets — in-band sentinels
+	// or ingest null marks alike — are an error: a row without a
+	// response cannot train.
 	var y []float64
 	switch cfg.Task {
 	case Regression:
-		y = tc.Data
-		for i := range y {
-			if tc.Missing(i) {
-				return nil, fmt.Errorf("cart: missing target at row %d", i)
-			}
-		}
 	case Classification:
 		if tc.Kind == frame.Continuous {
 			return nil, fmt.Errorf("cart: classification target %q must be categorical", target)
-		}
-		y = tc.Data
-		for i := range y {
-			if tc.Missing(i) {
-				return nil, fmt.Errorf("cart: missing target at row %d", i)
-			}
 		}
 		t.ClassLevels = tc.Levels
 	default:
 		return nil, fmt.Errorf("cart: unknown task %d", cfg.Task)
 	}
+	for i, n := 0, tc.Len(); i < n; i++ {
+		if tc.Missing(i) {
+			return nil, fmt.Errorf("cart: missing target at row %d", i)
+		}
+	}
+	y = tc.Values()
 	// Materialize features.
 	colRefs := make([]*frame.Column, len(features))
 	for i, name := range features {
@@ -277,10 +296,11 @@ func FitContext(ctx context.Context, f *frame.Frame, target string, features []s
 	}
 
 	// Exact engine: flatten each feature to a dense value slice, with
-	// null-marked cells surfaced as the NaN sentinel the scans expect.
+	// missing cells — null marks and in-band sentinels alike — surfaced
+	// as the NaN sentinel the scans expect.
 	cols := make([][]float64, len(colRefs))
 	for i, c := range colRefs {
-		cols[i] = materializeMissing(c)
+		cols[i] = c.Values()
 	}
 	b := &builder{cfg: cfg, ctx: ctx, tree: t, y: y, cols: cols}
 	if cfg.Task == Classification {
@@ -614,24 +634,6 @@ func chooseBinned(cfg Config, rows int, feats []Feature) bool {
 		}
 	}
 	return true
-}
-
-// materializeMissing returns the column's dense values with null-marked
-// cells replaced by NaN, the sentinel the exact scans and the predict
-// routers understand. Columns without null marks alias their storage
-// unchanged; the caller never mutates the result.
-func materializeMissing(c *frame.Column) []float64 {
-	if !c.HasNulls() {
-		return c.Data
-	}
-	nulls := c.Nulls()
-	out := append([]float64(nil), c.Data...)
-	for i := range out {
-		if nulls.Get(i) {
-			out[i] = math.NaN()
-		}
-	}
-	return out
 }
 
 func routeLeft(kind frame.Kind, n *Node, v float64) bool {
@@ -1158,9 +1160,9 @@ func (t *Tree) featureCols(f *frame.Frame) ([][]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Null-marked cells route like any other missing value (majority
+		// Missing cells route like any other missing value (majority
 		// child), so surface them as the NaN sentinel leafFor checks.
-		cols[i] = materializeMissing(c)
+		cols[i] = c.Values()
 	}
 	return cols, nil
 }

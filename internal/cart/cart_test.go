@@ -1,6 +1,7 @@
 package cart
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -587,5 +588,27 @@ func TestTwoFeatureInteraction(t *testing.T) {
 	imp := tree.Importance()
 	if imp["temp"] == 0 || imp["dc"] == 0 {
 		t.Errorf("importance missing interaction factor: %v", imp)
+	}
+}
+
+func TestValidateBins(t *testing.T) {
+	for _, n := range []int{0, 2, 64, 255} {
+		if err := ValidateBins(n); err != nil {
+			t.Errorf("ValidateBins(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{1, 256, -3} {
+		err := ValidateBins(n)
+		if err == nil {
+			t.Errorf("ValidateBins(%d) = nil, want error", n)
+			continue
+		}
+		var bre *BinsRangeError
+		if !errors.As(err, &bre) || bre.Bins != n {
+			t.Errorf("ValidateBins(%d) = %v, want *BinsRangeError carrying %d", n, err, n)
+		}
+		if !strings.Contains(err.Error(), "[2, 255]") {
+			t.Errorf("ValidateBins(%d) error %q does not state the range", n, err)
+		}
 	}
 }

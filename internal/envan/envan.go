@@ -202,19 +202,10 @@ func AnalyzeContext(ctx context.Context, f *frame.Frame, cfg cart.Config) (*Resu
 		if err != nil {
 			return nil, err
 		}
-		var addErr error
-		switch c.Kind {
-		case frame.Continuous:
-			addErr = envFrame.AddContinuous(name, c.Data)
-		default:
-			codes := make([]int, len(c.Data))
-			for i, v := range c.Data {
-				codes[i] = int(v)
-			}
-			addErr = envFrame.AddNominalInts(name, codes, c.Levels)
-		}
-		if addErr != nil {
-			return nil, addErr
+		// Attach as-is, sharing cell storage whatever the physical
+		// layout; the env frame is read-only.
+		if err := envFrame.AddColumn(*c); err != nil {
+			return nil, err
 		}
 	}
 	if err := envFrame.AddContinuous("resid", resid); err != nil {
@@ -297,7 +288,7 @@ func AnalyzeContext(ctx context.Context, f *frame.Frame, cfg cart.Config) (*Resu
 	res.Groups, err = parallel.Map(ctx, cfg.Workers, len(dcCol.Levels), func(dcIdx int) (GroupRates, error) {
 		var cool, hot, hotDry, all []float64
 		for r := 0; r < f.NumRows(); r++ {
-			if int(dcCol.Data[r]) != dcIdx {
+			if dcCol.Code(r) != dcIdx {
 				continue
 			}
 			v := diskCol.Data[r]

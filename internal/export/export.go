@@ -117,7 +117,7 @@ func FrameCSV(w io.Writer, f *frame.Frame) error {
 			case c.Missing(r):
 				rec[i] = "NA"
 			default:
-				rec[i] = c.LevelOf(c.Data[r])
+				rec[i] = c.LevelOf(c.Float(r))
 			}
 		}
 		if err := cw.Write(rec); err != nil {

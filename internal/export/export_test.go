@@ -147,7 +147,7 @@ func TestReadFrameCSVRoundTrip(t *testing.T) {
 		t.Errorf("temp col = %+v", tc)
 	}
 	dc := back.MustCol("dc")
-	if dc.Kind != frame.Nominal || dc.LevelOf(dc.Data[1]) != "DC2" {
+	if dc.Kind != frame.Nominal || dc.LevelOf(dc.Float(1)) != "DC2" {
 		t.Errorf("dc col = %+v", dc)
 	}
 }

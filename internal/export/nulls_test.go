@@ -91,7 +91,7 @@ func TestNullBitmapPipeline(t *testing.T) {
 	if !bdc.Missing(5) || bdc.NullCount() != 1 {
 		t.Fatalf("dc null mark lost: missing(5)=%v nulls=%d", bdc.Missing(5), bdc.NullCount())
 	}
-	if got := bdc.LevelOf(bdc.Data[0]); got != "DC1" {
+	if got := bdc.LevelOf(bdc.Float(0)); got != "DC1" {
 		t.Fatalf("dc levels perturbed by null: %q", got)
 	}
 

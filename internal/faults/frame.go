@@ -33,7 +33,9 @@ func CorruptFrame(src *rng.Source, f *frame.Frame, cfg Config, protect ...string
 			return nil, err
 		}
 		if c.Kind != frame.Continuous || protected[name] || (cfg.CellNaN <= 0 && cfg.CellInf <= 0) {
-			if err := addColumn(out, c); err != nil {
+			// Carried over untouched, sharing cell storage whatever the
+			// physical layout (CorruptFrame never mutates carried columns).
+			if err := out.AddColumn(*c); err != nil {
 				return nil, err
 			}
 			continue
@@ -52,19 +54,4 @@ func CorruptFrame(src *rng.Source, f *frame.Frame, cfg Config, protect ...string
 		}
 	}
 	return out, nil
-}
-
-// addColumn appends a copy of a column to out, preserving its kind.
-func addColumn(out *frame.Frame, c *frame.Column) error {
-	if c.Kind == frame.Continuous {
-		return out.AddContinuous(c.Name, c.Data)
-	}
-	codes := make([]int, len(c.Data))
-	for i, v := range c.Data {
-		codes[i] = int(v)
-	}
-	if c.Kind == frame.Ordinal {
-		return out.AddOrdinalInts(c.Name, codes, c.Levels)
-	}
-	return out.AddNominalInts(c.Name, codes, c.Levels)
 }

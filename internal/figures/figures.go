@@ -189,10 +189,10 @@ func (d *Data) byTimeAndYear(timeCol string) ([]SeriesBars, error) {
 		counts := make([]int, len(tc.Levels))
 		sq := make([]float64, len(tc.Levels))
 		for r := 0; r < f.NumRows(); r++ {
-			if int(yc.Data[r]) != year {
+			if yc.Code(r) != year {
 				continue
 			}
-			li := int(tc.Data[r])
+			li := tc.Code(r)
 			sums[li] += vc.Data[r]
 			sq[li] += vc.Data[r] * vc.Data[r]
 			counts[li]++

@@ -7,11 +7,13 @@ package frame
 const ChunkRows = 64 * 1024
 
 // Chunk is a view of a contiguous row range [Lo, Hi) of one column.
-// Data aliases the column's dense storage (no copy); Missing and
-// MarkNull address rows chunk-relative.
+// Exactly one of Data/Codes aliases the column's dense storage (no
+// copy), matching the column's physical layout; Missing and MarkNull
+// address rows chunk-relative.
 type Chunk struct {
 	Lo, Hi int
-	Data   []float64
+	Data   []float64 // float64-backed columns
+	Codes  []uint8   // typed (uint8 code) columns
 	col    *Column
 }
 
@@ -29,7 +31,13 @@ func (ch Chunk) MarkNull(i int) { ch.col.MarkNull(ch.Lo + i) }
 
 // Chunk returns the view of rows [lo, hi) of the column.
 func (c *Column) Chunk(lo, hi int) Chunk {
-	return Chunk{Lo: lo, Hi: hi, Data: c.Data[lo:hi], col: c}
+	ch := Chunk{Lo: lo, Hi: hi, col: c}
+	if c.codes != nil {
+		ch.Codes = c.codes[lo:hi]
+	} else {
+		ch.Data = c.Data[lo:hi]
+	}
+	return ch
 }
 
 // Chunks splits the column into views of at most chunkRows rows each
@@ -37,7 +45,7 @@ func (c *Column) Chunk(lo, hi int) Chunk {
 // determinism contract: fan the chunks across any number of workers and
 // merge per-chunk results in slice order.
 func (c *Column) Chunks(chunkRows int) []Chunk {
-	bounds := ChunkBounds(len(c.Data), chunkRows)
+	bounds := ChunkBounds(c.Len(), chunkRows)
 	out := make([]Chunk, len(bounds))
 	for i, b := range bounds {
 		out[i] = c.Chunk(b[0], b[1])

@@ -5,24 +5,107 @@ import (
 	"math"
 )
 
-// Column is one typed dense column. For Continuous columns Data holds
-// raw values; for Nominal/Ordinal columns Data holds level indices into
-// Levels. Missing cells are carried two ways, and a cell is missing if
-// either marks it:
+// maxTypedLevels is the widest level table the uint8 code layout can
+// address while reserving at least one out-of-range code value as the
+// in-band missing sentinel (code 255 with a full 255-level table).
+const maxTypedLevels = 255
+
+// Column is one typed dense column with two physical layouts:
 //
-//   - a non-finite value (NaN/±Inf) in Data — the legacy sentinel every
-//     import path can produce;
+//   - Continuous columns — and categorical columns with more than 255
+//     levels — store raw float64 values in Data;
+//   - Nominal/Ordinal columns with at most 255 levels store uint8 level
+//     indices in codes: a quarter of the memory, and the shape the
+//     binned CART coding pass copies without a float64 round-trip.
+//
+// Exactly one of Data/codes is populated. Missing cells are carried two
+// ways, and a cell is missing if either marks it:
+//
+//   - an in-band sentinel — a non-finite value (NaN/±Inf) in Data, or a
+//     code at or above len(Levels) in a typed column;
 //   - a set bit in the null bitmap — the explicit marking the ingest
 //     quarantine/repair pipeline writes, which can coexist with a
-//     finite (suspect) raw value kept for forensics.
+//     valid-looking (suspect) raw value kept for forensics.
 type Column struct {
 	Name   string
 	Kind   Kind
-	Data   []float64
-	Levels []string // nil for Continuous
+	Data   []float64 // float64 cell storage; nil when codes is set
+	Levels []string  // nil for Continuous
+
+	// codes is the uint8 level-index storage of typed categorical
+	// columns; nil for float64-backed columns. Shared storage with the
+	// same aliasing rules as Data.
+	codes []uint8
 
 	// nulls marks cells quarantined by ingest; nil means none.
 	nulls *Bitmap
+}
+
+// Len returns the number of rows in the column, whatever the physical
+// layout.
+func (c *Column) Len() int {
+	if c.codes != nil {
+		return len(c.codes)
+	}
+	return len(c.Data)
+}
+
+// Codes returns the uint8 level-index storage of a typed categorical
+// column, or nil when the column is float64-backed. Like Data the slice
+// is shared storage: treat it as read-only unless the column is
+// exclusively owned. A code at or above len(Levels) is the in-band
+// missing sentinel, the typed twin of NaN.
+func (c *Column) Codes() []uint8 { return c.codes }
+
+// Float returns the raw cell at row i as a float64 regardless of
+// layout. For typed columns this is float64(code) — exact, since every
+// code fits in a byte. It reports the stored value only; use Missing
+// for the null-bitmap union.
+func (c *Column) Float(i int) float64 {
+	if c.codes != nil {
+		return float64(c.codes[i])
+	}
+	return c.Data[i]
+}
+
+// Code returns the level index stored at row i of a categorical column,
+// whatever the layout. The index is not range-checked: callers that can
+// see corrupt or null-marked cells must consult Missing first.
+func (c *Column) Code(i int) int {
+	if c.codes != nil {
+		return int(c.codes[i])
+	}
+	return int(c.Data[i])
+}
+
+// Values returns the column as dense float64 with every missing cell
+// (null-marked or in-band sentinel) materialized as NaN. A
+// float64-backed column with no null marks aliases Data — no copy, so
+// treat the result as read-only; every other case allocates a fresh
+// slice the caller owns.
+func (c *Column) Values() []float64 {
+	if c.codes == nil {
+		if !c.nulls.Any() {
+			return c.Data
+		}
+		out := append([]float64(nil), c.Data...)
+		for i := range out {
+			if c.nulls.Get(i) {
+				out[i] = math.NaN()
+			}
+		}
+		return out
+	}
+	out := make([]float64, len(c.codes))
+	nl := uint8(len(c.Levels))
+	for i, cd := range c.codes {
+		if cd >= nl || c.nulls.Get(i) {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = float64(cd)
+	}
+	return out
 }
 
 // LevelOf returns the level string for a value of a categorical column.
@@ -44,46 +127,56 @@ func (c *Column) LevelOf(v float64) string {
 	return c.Levels[i]
 }
 
-// MarkNull sets the null bit for row i, leaving Data untouched so the
-// quarantined raw value stays inspectable. Analyses that honor the
-// bitmap treat the cell as missing regardless of the stored value.
+// MarkNull sets the null bit for row i, leaving the cell storage
+// untouched so the quarantined raw value stays inspectable. Analyses
+// that honor the bitmap treat the cell as missing regardless of the
+// stored value.
 func (c *Column) MarkNull(i int) {
 	if c.nulls == nil {
-		c.nulls = NewBitmap(len(c.Data))
+		c.nulls = NewBitmap(c.Len())
 	}
 	c.nulls.Set(i)
 }
 
-// SetMissing marks row i null and overwrites Data[i] with NaN, the
-// sentinel legacy consumers that read Data directly understand.
+// SetMissing marks row i null and overwrites the cell with the in-band
+// sentinel legacy consumers that read the storage directly understand:
+// NaN for float64-backed columns, an out-of-range code for typed ones.
 func (c *Column) SetMissing(i int) {
 	c.MarkNull(i)
+	if c.codes != nil {
+		c.codes[i] = maxTypedLevels
+		return
+	}
 	c.Data[i] = math.NaN()
 }
 
 // Missing reports whether the cell at row i is unusable: null-marked or
-// non-finite.
+// carrying the layout's in-band sentinel.
 func (c *Column) Missing(i int) bool {
 	if c.nulls.Get(i) {
 		return true
+	}
+	if c.codes != nil {
+		return int(c.codes[i]) >= len(c.Levels)
 	}
 	v := c.Data[i]
 	return math.IsNaN(v) || math.IsInf(v, 0)
 }
 
 // HasNulls reports whether any cell carries an explicit null mark. It
-// deliberately ignores NaN sentinels; use MissingCount for the union.
+// deliberately ignores in-band sentinels; use MissingCount for the
+// union.
 func (c *Column) HasNulls() bool { return c.nulls.Any() }
 
 // NullCount returns the number of explicitly null-marked cells.
 func (c *Column) NullCount() int { return c.nulls.Count() }
 
 // MissingCount returns the number of missing cells: the union of
-// null-marked and non-finite entries.
+// null-marked and in-band-sentinel entries.
 func (c *Column) MissingCount() int {
 	total := 0
-	for i, v := range c.Data {
-		if math.IsNaN(v) || math.IsInf(v, 0) || c.nulls.Get(i) {
+	for i, n := 0, c.Len(); i < n; i++ {
+		if c.Missing(i) {
 			total++
 		}
 	}
@@ -95,14 +188,20 @@ func (c *Column) MissingCount() int {
 // read-only unless the column is exclusively owned.
 func (c *Column) Nulls() *Bitmap { return c.nulls }
 
-// Clone returns a deep copy of the column — its own Data and null
-// bitmap — safe to mutate regardless of who else holds the original.
+// Clone returns a deep copy of the column — its own cell storage and
+// null bitmap — safe to mutate regardless of who else holds the
+// original.
 func (c *Column) Clone() *Column {
-	return &Column{
+	cl := &Column{
 		Name:   c.Name,
 		Kind:   c.Kind,
-		Data:   append([]float64(nil), c.Data...),
 		Levels: c.Levels,
 		nulls:  c.nulls.Clone(),
 	}
+	if c.codes != nil {
+		cl.codes = append([]uint8(nil), c.codes...)
+	} else {
+		cl.Data = append([]float64(nil), c.Data...)
+	}
+	return cl
 }

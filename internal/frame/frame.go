@@ -6,14 +6,16 @@
 // month) variables; a Frame carries that type information so the tree
 // learner can treat each kind correctly.
 //
-// Storage is columnar and dense: continuous columns hold raw float64
-// values, categorical columns hold level indices coded as float64 into
-// their level table. Missing cells are marked by per-column null
-// bitmaps (populated by the ingest quarantine/repair pipeline) in
-// addition to the legacy NaN sentinel — see Column. Fleet-scale scans
-// iterate the fixed-size chunk views of Column.Chunks, whose boundaries
-// never depend on the worker count, so chunked fork-join reductions
-// stay byte-identical for every -workers.
+// Storage is columnar, dense, and physically typed: continuous columns
+// hold raw float64 values, and categorical columns with at most 255
+// levels hold uint8 level indices into their level table (wider level
+// tables fall back to float64 codes). Missing cells are marked by
+// per-column null bitmaps (populated by the ingest quarantine/repair
+// pipeline) in addition to each layout's in-band sentinel — NaN for
+// float64 cells, an out-of-range code for typed ones; see Column.
+// Fleet-scale scans iterate the fixed-size chunk views of
+// Column.Chunks, whose boundaries never depend on the worker count, so
+// chunked fork-join reductions stay byte-identical for every -workers.
 package frame
 
 import (
@@ -116,6 +118,17 @@ func (f *Frame) AddNominalInts(name string, codes []int, levels []string) error 
 }
 
 func (f *Frame) addCoded(name string, kind Kind, codes []int, levels []string) error {
+	lv := append([]string(nil), levels...)
+	if len(lv) <= maxTypedLevels {
+		cs := make([]uint8, len(codes))
+		for i, c := range codes {
+			if c < 0 || c >= len(levels) {
+				return fmt.Errorf("frame: column %q code %d out of range [0,%d)", name, c, len(levels))
+			}
+			cs[i] = uint8(c)
+		}
+		return f.add(Column{Name: name, Kind: kind, codes: cs, Levels: lv})
+	}
 	data := make([]float64, len(codes))
 	for i, c := range codes {
 		if c < 0 || c >= len(levels) {
@@ -123,8 +136,37 @@ func (f *Frame) addCoded(name string, kind Kind, codes []int, levels []string) e
 		}
 		data[i] = float64(c)
 	}
-	return f.add(Column{Name: name, Kind: kind, Data: data, Levels: append([]string(nil), levels...)})
+	return f.add(Column{Name: name, Kind: kind, Data: data, Levels: lv})
 }
+
+// AddNominalCodes appends a nominal column directly from uint8 level
+// codes. The codes slice is adopted, not copied, and deliberately not
+// range-checked: a code at or above len(levels) is the typed layout's
+// in-band missing sentinel, not an error. The level table must fit the
+// typed layout (at most 255 levels).
+func (f *Frame) AddNominalCodes(name string, codes []uint8, levels []string) error {
+	return f.addTyped(name, Nominal, codes, levels)
+}
+
+// AddOrdinalCodes appends an ordinal column directly from uint8 level
+// codes, with the same adoption and sentinel rules as AddNominalCodes.
+func (f *Frame) AddOrdinalCodes(name string, codes []uint8, levels []string) error {
+	return f.addTyped(name, Ordinal, codes, levels)
+}
+
+func (f *Frame) addTyped(name string, kind Kind, codes []uint8, levels []string) error {
+	if len(levels) > maxTypedLevels {
+		return fmt.Errorf("frame: column %q has %d levels, typed code columns hold at most %d",
+			name, len(levels), maxTypedLevels)
+	}
+	return f.add(Column{Name: name, Kind: kind, codes: codes, Levels: append([]string(nil), levels...)})
+}
+
+// AddColumn appends the column descriptor as-is, sharing its underlying
+// cell storage and null bitmap. It is the external spelling of carrying
+// an existing column (typically a Clone, or one freshly built) over to
+// a derived frame without re-coding through the typed constructors.
+func (f *Frame) AddColumn(c Column) error { return f.add(c) }
 
 // AddNominalStrings appends a nominal column from string labels,
 // building the level set from the distinct labels in sorted order.
@@ -156,8 +198,11 @@ func (f *Frame) add(c Column) error {
 	if _, dup := f.index[c.Name]; dup {
 		return fmt.Errorf("frame: duplicate column %q", c.Name)
 	}
-	if len(c.Data) != f.rows {
-		return fmt.Errorf("frame: column %q has %d rows, frame has %d", c.Name, len(c.Data), f.rows)
+	if c.Data != nil && c.codes != nil {
+		return fmt.Errorf("frame: column %q has both float64 and uint8 storage", c.Name)
+	}
+	if c.Len() != f.rows {
+		return fmt.Errorf("frame: column %q has %d rows, frame has %d", c.Name, c.Len(), f.rows)
 	}
 	f.index[c.Name] = len(f.cols)
 	f.cols = append(f.cols, c)
@@ -228,20 +273,29 @@ func (f *Frame) Filter(keep func(row int) bool) *Frame {
 func (f *Frame) Subset(rows []int) *Frame {
 	out := New(len(rows))
 	for _, c := range f.cols {
-		data := make([]float64, len(rows))
-		for i, r := range rows {
-			data[i] = c.Data[r]
+		nc := Column{Name: c.Name, Kind: c.Kind, Levels: c.Levels}
+		if c.codes != nil {
+			cs := make([]uint8, len(rows))
+			for i, r := range rows {
+				cs[i] = c.codes[r]
+			}
+			nc.codes = cs
+		} else {
+			data := make([]float64, len(rows))
+			for i, r := range rows {
+				data[i] = c.Data[r]
+			}
+			nc.Data = data
 		}
-		var nulls *Bitmap
 		if c.nulls.Any() {
-			nulls = NewBitmap(len(rows))
+			nulls := NewBitmap(len(rows))
 			for i, r := range rows {
 				if c.nulls.Get(r) {
 					nulls.Set(i)
 				}
 			}
+			nc.nulls = nulls
 		}
-		nc := Column{Name: c.Name, Kind: c.Kind, Data: data, Levels: c.Levels, nulls: nulls}
 		if err := out.add(nc); err != nil {
 			// Unreachable: source frame invariants guarantee validity.
 			panic(err)
@@ -259,7 +313,7 @@ func (f *Frame) Value(row int, name string) (float64, error) {
 	if row < 0 || row >= f.rows {
 		return 0, fmt.Errorf("frame: row %d out of range [0,%d)", row, f.rows)
 	}
-	return c.Data[row], nil
+	return c.Float(row), nil
 }
 
 // GroupMeans computes the mean of the value column within each level of
@@ -281,7 +335,7 @@ func (f *Frame) GroupMeans(key, value string) (levels []string, means []float64,
 	sums := make([]float64, n)
 	counts = make([]int, n)
 	for r := 0; r < f.rows; r++ {
-		i := int(kc.Data[r])
+		i := kc.Code(r)
 		sums[i] += vc.Data[r]
 		counts[i]++
 	}
@@ -312,7 +366,7 @@ func (f *Frame) GroupValues(key, value string) (levels []string, groups [][]floa
 	}
 	groups = make([][]float64, len(kc.Levels))
 	for r := 0; r < f.rows; r++ {
-		i := int(kc.Data[r])
+		i := kc.Code(r)
 		groups[i] = append(groups[i], vc.Data[r])
 	}
 	return kc.Levels, groups, nil

@@ -182,8 +182,11 @@ func TestAddNominalStrings(t *testing.T) {
 	if len(c.Levels) != 2 || c.Levels[0] != "DC1" || c.Levels[1] != "DC2" {
 		t.Fatalf("levels = %v", c.Levels)
 	}
-	if c.Data[0] != 1 || c.Data[1] != 0 {
-		t.Fatalf("codes = %v", c.Data)
+	if c.Data != nil {
+		t.Fatalf("2-level nominal should use typed uint8 storage, got Data = %v", c.Data)
+	}
+	if cs := c.Codes(); cs[0] != 1 || cs[1] != 0 {
+		t.Fatalf("codes = %v", cs)
 	}
 }
 

@@ -87,7 +87,7 @@ func ComputeContext(ctx context.Context, tree *cart.Tree, f *frame.Frame, featur
 		if err != nil {
 			return nil, err
 		}
-		cols[i] = c.Data
+		cols[i] = c.Values()
 	}
 	err = parallel.ForEach(ctx, workers, len(grid), func(gi int) error {
 		x := make([]float64, len(cols))
@@ -195,7 +195,7 @@ func Standardize(f *frame.Frame, metric, of string, covariates []string) ([]Leve
 	for r := 0; r < f.NumRows(); r++ {
 		keyBuf = keyBuf[:0]
 		for _, c := range covCols {
-			v := int(c.Data[r])
+			v := c.Code(r)
 			keyBuf = append(keyBuf, byte(v), byte(v>>8), '|')
 		}
 		k := string(keyBuf)
@@ -204,7 +204,7 @@ func Standardize(f *frame.Frame, metric, of string, covariates []string) ([]Leve
 			s = &cell{values: map[int][]float64{}}
 			strata[k] = s
 		}
-		lvl := int(oc.Data[r])
+		lvl := oc.Code(r)
 		s.values[lvl] = append(s.values[lvl], mc.Data[r])
 		s.n++
 	}
@@ -329,13 +329,13 @@ func PairedContrast(f *frame.Frame, metric, of, levelA, levelB string, covariate
 	strata := map[string]*cell{}
 	keyBuf := make([]byte, 0, 32)
 	for r := 0; r < f.NumRows(); r++ {
-		lvl := int(oc.Data[r])
+		lvl := oc.Code(r)
 		if lvl != idxA && lvl != idxB {
 			continue
 		}
 		keyBuf = keyBuf[:0]
 		for _, c := range covCols {
-			v := int(c.Data[r])
+			v := c.Code(r)
 			keyBuf = append(keyBuf, byte(v), byte(v>>8), '|')
 		}
 		k := string(keyBuf)

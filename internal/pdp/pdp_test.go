@@ -227,8 +227,8 @@ func TestBinContinuous(t *testing.T) {
 	// 55 clamps into first bin; 80 clamps into last.
 	want := []float64{0, 0, 1, 2, 2}
 	for i, w := range want {
-		if c.Data[i] != w {
-			t.Errorf("bin[%d] = %v, want %v", i, c.Data[i], w)
+		if got := c.Float(i); got != w {
+			t.Errorf("bin[%d] = %v, want %v", i, got, w)
 		}
 	}
 	if c.Levels[0] != "60-65" {

@@ -187,7 +187,7 @@ func TrainContext(ctx context.Context, f *frame.Frame, cfg Config) (*Result, err
 		return nil, err
 	}
 	for r := range testLabels {
-		testLabels[r] = int(lc.Data[r])
+		testLabels[r] = lc.Code(r)
 	}
 	m, err := Evaluate(scores, testLabels, cfg.Threshold)
 	if err != nil {

@@ -106,7 +106,7 @@ func AnalyzeMF(f *frame.Frame, skus []topology.SKU) ([]Stats, error) {
 		for _, s := range skus {
 			keep[int(s)] = true
 		}
-		f = f.Filter(func(row int) bool { return keep[int(skuCol.Data[row])] })
+		f = f.Filter(func(row int) bool { return keep[skuCol.Code(row)] })
 	}
 	covs := append([]string(nil), MFCovariates...)
 	if _, err := f.Col("power_kw_bin"); err != nil {

@@ -147,10 +147,11 @@ func WithWorkers(n int) Option {
 }
 
 // WithBins caps the histogram bin count for the fleet-scale binned
-// CART split search (default cart.DefaultBins = 255; values are
-// clamped to [2, 255]). Fewer bins trade split resolution for speed.
-// Small studies that never trip the auto-binning row threshold are
-// unaffected. Any bin count is deterministic for any worker count.
+// CART split search (default cart.DefaultBins = 255; values outside
+// [2, 255] make NewStudy fail with a cart.BinsRangeError). Fewer bins
+// trade split resolution for speed. Small studies that never trip the
+// auto-binning row threshold are unaffected. Any bin count is
+// deterministic for any worker count.
 func WithBins(n int) Option {
 	return func(c *simulate.Config) { c.CARTBins = n }
 }
@@ -212,6 +213,9 @@ func NewStudyContext(ctx context.Context, opts ...Option) (*Study, error) {
 	cfg := simulate.Config{Seed: rng.DefaultSeed}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if err := cart.ValidateBins(cfg.CARTBins); err != nil {
+		return nil, fmt.Errorf("rainshine: %w", err)
 	}
 	d, err := figures.NewDataContext(ctx, cfg)
 	if err != nil {

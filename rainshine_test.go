@@ -2,6 +2,7 @@ package rainshine
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -303,5 +304,15 @@ func TestAnalyzeClimateCSVErrors(t *testing.T) {
 	}
 	if _, err := AnalyzeClimateCSV(strings.NewReader("")); err == nil {
 		t.Error("empty CSV should error")
+	}
+}
+
+func TestNewStudyRejectsBadBins(t *testing.T) {
+	// The check runs before any simulation, so even paper-scale options
+	// fail instantly.
+	_, err := NewStudy(WithBins(1))
+	var bre *cart.BinsRangeError
+	if !errors.As(err, &bre) || bre.Bins != 1 {
+		t.Fatalf("NewStudy(WithBins(1)) err = %v, want *cart.BinsRangeError", err)
 	}
 }
