@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-fleet bench-fleet-check bench-fleet-multicore stream-replay stream-replay-check serve-load soak repro outputs examples fuzz clean
+.PHONY: all build vet lint lint-fix lint-fix-check test race bench bench-fleet bench-fleet-check bench-fleet-multicore stream-replay stream-replay-check serve-load soak repro outputs examples fuzz clean
 
 all: build vet lint test
 
@@ -13,14 +13,33 @@ build:
 vet:
 	$(GO) vet ./...
 
-# rainshinelint: the repo's own analyzer suite (detrand, frameclone,
-# ctxflow, nansafe, parsafe) run over every package, both standalone and
-# as a `go vet -vettool`. Suppressions are per-line //lint:allow
-# annotations with a reason; there are no package-wide excludes.
+# rainshinelint: the repo's own analyzer suite (benchgate, clockinject,
+# ctxflow, detrand, frameclone, goleak, lockorder, nansafe, parsafe) run
+# over every package, both standalone and as a `go vet -vettool`.
+# Suppressions are per-line //lint:allow annotations with a reason;
+# there are no package-wide excludes.
 lint:
 	$(GO) build -o bin/rainshinelint ./cmd/rainshinelint
 	bin/rainshinelint ./...
 	$(GO) vet -vettool=bin/rainshinelint ./...
+
+# Apply every suggested fix in place (currently: lockorder value
+# receivers, clockinject time.Now/Since on clock-injected types).
+lint-fix:
+	$(GO) build -o bin/rainshinelint ./cmd/rainshinelint
+	bin/rainshinelint -fix ./...
+
+# CI gate: -fix must be a no-op on a clean tree. Runs the fixer over a
+# scratch copy (dot-prefixed so package loading skips it if left
+# behind) and fails on any diff.
+lint-fix-check:
+	$(GO) build -o bin/rainshinelint ./cmd/rainshinelint
+	rm -rf .lintfix-scratch
+	mkdir -p .lintfix-scratch
+	tar --exclude .git --exclude .lintfix-scratch --exclude bin -cf - . | (cd .lintfix-scratch && tar -xf -)
+	cd .lintfix-scratch && $(CURDIR)/bin/rainshinelint -fix ./... || true
+	diff -r --exclude .git --exclude .lintfix-scratch --exclude bin . .lintfix-scratch
+	rm -rf .lintfix-scratch
 
 test:
 	$(GO) test ./...
@@ -128,3 +147,4 @@ fuzz:
 
 clean:
 	rm -f test_output.txt bench_output.txt
+	rm -rf .lintfix-scratch bin

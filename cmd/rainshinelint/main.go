@@ -1,14 +1,23 @@
 // Command rainshinelint runs the repository's invariant suite — the
-// five analyzers in internal/analyzers — in two modes:
+// nine analyzers in internal/analyzers — in two modes:
 //
-//	rainshinelint ./...          standalone: loads packages itself
+//	rainshinelint [-fix] ./...            standalone: loads packages itself
 //	go vet -vettool=rainshinelint ./...   unitchecker protocol
 //
 // Standalone mode resolves the module by walking up to go.mod and
 // type-checks everything from source (stdlib included), so it needs no
-// network, no module cache, and no pre-built export data. The vettool
-// mode speaks cmd/go's JSON .cfg protocol and type-checks against the
-// export data files the go command supplies.
+// network, no module cache, and no pre-built export data. Packages are
+// analyzed in dependency order over one shared fact store, so facts
+// exported while analyzing internal/resilience are visible while
+// analyzing internal/server. The vettool mode speaks cmd/go's JSON
+// .cfg protocol, type-checks against the export data files the go
+// command supplies, and round-trips facts through the .vetx files the
+// go command threads between per-package invocations.
+//
+// -fix (standalone only) applies every suggested fix carried by an
+// unsuppressed diagnostic and rewrites the files in place. Fixable
+// findings do not count against the exit status once applied; a second
+// run finds nothing to fix, which is the idempotence CI checks.
 //
 // Exit status: 0 clean, 1 findings or usage error (standalone),
 // 2 findings (vettool protocol, matching x/tools unitchecker).
@@ -39,7 +48,7 @@ func main() {
 	for _, a := range args {
 		switch {
 		case strings.HasPrefix(a, "-V"):
-			fmt.Println("rainshinelint version 1 (invariant suite: ctxflow detrand frameclone nansafe parsafe)")
+			fmt.Println("rainshinelint version 2 (invariant suite: benchgate clockinject ctxflow detrand frameclone goleak lockorder nansafe parsafe)")
 			return
 		case a == "-flags":
 			fmt.Println("[]")
@@ -49,7 +58,25 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(vettool(args[0]))
 	}
-	os.Exit(standalone(args))
+	fix := false
+	var patterns []string
+	for _, a := range args {
+		if a == "-fix" || a == "--fix" {
+			fix = true
+			continue
+		}
+		patterns = append(patterns, a)
+	}
+	os.Exit(standalone(patterns, fix))
+}
+
+// newFactStore builds a store with every suite fact type registered.
+func newFactStore() *analysis.FactStore {
+	facts := analysis.NewFactStore()
+	for _, a := range analyzers.All() {
+		facts.Register(a.FactTypes...)
+	}
+	return facts
 }
 
 // diag is one finding ready for printing.
@@ -57,19 +84,30 @@ type diag struct {
 	pos      token.Position
 	analyzer string
 	message  string
+	fixable  bool
 }
 
 func (d diag) String() string {
 	return fmt.Sprintf("%s: %s [%s]", d.pos, d.message, d.analyzer)
 }
 
-// runSuite applies every analyzer to one loaded package and returns the
-// findings that survive //lint:allow suppression.
-func runSuite(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []diag {
-	allows := analysis.CollectAllows(fset, files)
-	var out []diag
+// suiteResult carries one package's findings: the printable list and
+// the raw diagnostics whose suggested fixes -fix can apply.
+type suiteResult struct {
+	diags   []diag
+	fixable []analysis.Diagnostic
+}
+
+// runSuite applies every analyzer to one package and returns the
+// findings that survive //lint:allow suppression. Test files take part
+// as syntax-only parses: benchgate audits them, and allow annotations
+// inside them are honored.
+func runSuite(fset *token.FileSet, files, testFiles []*ast.File, dir string, pkg *types.Package, info *types.Info, facts *analysis.FactStore) suiteResult {
+	allFiles := append(append([]*ast.File(nil), files...), testFiles...)
+	allows := analysis.CollectAllows(fset, allFiles)
+	var res suiteResult
 	for _, pos := range allows.Invalid {
-		out = append(out, diag{fset.Position(pos), "lint", "malformed //lint:allow: need `//lint:allow <analyzer> <reason>`"})
+		res.diags = append(res.diags, diag{fset.Position(pos), "lint", "malformed //lint:allow: need `//lint:allow <analyzer> <reason>`", false})
 	}
 	for _, a := range analyzers.All() {
 		pass := &analysis.Pass{
@@ -78,35 +116,46 @@ func runSuite(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			TestFiles: testFiles,
+			Dir:       dir,
+			Facts:     facts,
 		}
 		pass.Report = func(d analysis.Diagnostic) {
-			if !allows.Allowed(fset, d) {
-				out = append(out, diag{fset.Position(d.Pos), d.Analyzer, d.Message})
+			if d.Analyzer == "" {
+				d.Analyzer = a.Name
+			}
+			if allows.Allowed(fset, d) {
+				return
+			}
+			res.diags = append(res.diags, diag{fset.Position(d.Pos), d.Analyzer, d.Message, len(d.SuggestedFixes) > 0})
+			if len(d.SuggestedFixes) > 0 {
+				res.fixable = append(res.fixable, d)
 			}
 		}
 		if err := a.Run(pass); err != nil {
-			out = append(out, diag{token.Position{}, a.Name, fmt.Sprintf("analyzer error: %v", err)})
+			res.diags = append(res.diags, diag{token.Position{}, a.Name, fmt.Sprintf("analyzer error: %v", err), false})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].pos.Filename != out[j].pos.Filename {
-			return out[i].pos.Filename < out[j].pos.Filename
+	sort.Slice(res.diags, func(i, j int) bool {
+		if res.diags[i].pos.Filename != res.diags[j].pos.Filename {
+			return res.diags[i].pos.Filename < res.diags[j].pos.Filename
 		}
-		return out[i].pos.Offset < out[j].pos.Offset
+		return res.diags[i].pos.Offset < res.diags[j].pos.Offset
 	})
 	// Nested constructs (a map range inside a map range) can surface
 	// the same finding twice; report each once.
-	dedup := out[:0]
-	for i, d := range out {
-		if i == 0 || d != out[i-1] {
+	dedup := res.diags[:0]
+	for i, d := range res.diags {
+		if i == 0 || d != res.diags[i-1] {
 			dedup = append(dedup, d)
 		}
 	}
-	return dedup
+	res.diags = dedup
+	return res
 }
 
 // standalone lints the module containing the working directory.
-func standalone(patterns []string) int {
+func standalone(patterns []string, fix bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -121,15 +170,81 @@ func standalone(patterns []string) int {
 		return 1
 	}
 	loader := load.NewLoader(module, root)
-	bad := 0
-	for _, path := range paths {
+	facts := newFactStore()
+	results := map[string]suiteResult{}
+	analyzed := map[string]bool{}
+	loadErrs := 0
+	// visit analyzes path after its module-internal imports, so every
+	// pass sees its dependencies' facts.
+	var visit func(path string) error
+	visit = func(path string) error {
+		if analyzed[path] {
+			return nil
+		}
+		analyzed[path] = true
 		p, err := loader.Load(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rainshinelint: %v\n", err)
-			bad++
-			continue
+			return err
 		}
-		for _, d := range runSuite(p.Fset, p.Files, p.Types, p.Info) {
+		imports := make([]string, 0, len(p.Types.Imports()))
+		for _, imp := range p.Types.Imports() {
+			if ip := imp.Path(); ip == module || strings.HasPrefix(ip, module+"/") {
+				imports = append(imports, ip)
+			}
+		}
+		sort.Strings(imports)
+		for _, ip := range imports {
+			if err := visit(ip); err != nil {
+				return err
+			}
+		}
+		results[path] = runSuite(p.Fset, p.Files, load.ParseTestFiles(p.Fset, p.Dir), p.Dir, p.Types, p.Info, facts)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			fmt.Fprintf(os.Stderr, "rainshinelint: %v\n", err)
+			loadErrs++
+		}
+	}
+	var fixableAll []analysis.Diagnostic
+	for _, path := range paths {
+		fixableAll = append(fixableAll, results[path].fixable...)
+	}
+	fixedPositions := map[token.Position]bool{}
+	if fix && len(fixableAll) > 0 {
+		fixed, err := analysis.ApplyFixes(loader.Fset, fixableAll, os.ReadFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rainshinelint: applying fixes:", err)
+			return 1
+		}
+		names := make([]string, 0, len(fixed))
+		for name := range fixed {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			mode := os.FileMode(0o644)
+			if fi, err := os.Stat(name); err == nil {
+				mode = fi.Mode().Perm()
+			}
+			if err := os.WriteFile(name, fixed[name], mode); err != nil {
+				fmt.Fprintln(os.Stderr, "rainshinelint:", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "rainshinelint: fixed %s\n", name)
+		}
+		for _, d := range fixableAll {
+			fixedPositions[loader.Fset.Position(d.Pos)] = true
+		}
+	}
+	bad := loadErrs
+	for _, path := range paths {
+		for _, d := range results[path].diags {
+			if fix && d.fixable && fixedPositions[d.pos] {
+				fmt.Fprintf(os.Stderr, "%s (fixed)\n", d)
+				continue
+			}
 			fmt.Fprintln(os.Stderr, d)
 			bad++
 		}
@@ -228,16 +343,43 @@ func vettool(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "rainshinelint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// Facts are not used by this suite, but the go command caches the
-	// output file, so it must exist.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("rainshinelint\n"), 0o666); err != nil {
+	facts := newFactStore()
+	// Merge the facts of every dependency the go command already
+	// analyzed; unreadable or legacy content is skipped silently.
+	depVetx := make([]string, 0, len(cfg.PackageVetx))
+	for _, vf := range cfg.PackageVetx {
+		depVetx = append(depVetx, vf)
+	}
+	sort.Strings(depVetx)
+	for _, vf := range depVetx {
+		if data, err := os.ReadFile(vf); err == nil {
+			if err := facts.DecodeInto(data); err != nil {
+				fmt.Fprintln(os.Stderr, "rainshinelint:", err)
+				return 1
+			}
+		}
+	}
+	// writeVetx persists this package's facts; the go command caches
+	// and threads the file to dependents.
+	writeVetx := func() int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		data, err := facts.EncodePackage(cfg.ImportPath)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "rainshinelint:", err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly || isTestVariant(cfg.ImportPath) {
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "rainshinelint:", err)
+			return 1
+		}
 		return 0
+	}
+	if isTestVariant(cfg.ImportPath) {
+		// The invariants are production-only; test variants contribute
+		// no facts but the go command still expects the output file.
+		return writeVetx()
 	}
 	fset := token.NewFileSet()
 	var files []*ast.File
@@ -245,7 +387,7 @@ func vettool(cfgPath string) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return writeVetx()
 			}
 			fmt.Fprintln(os.Stderr, "rainshinelint:", err)
 			return 1
@@ -275,13 +417,20 @@ func vettool(cfgPath string) int {
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return writeVetx()
 		}
 		fmt.Fprintf(os.Stderr, "rainshinelint: typechecking %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
+	res := runSuite(fset, files, load.ParseTestFiles(fset, cfg.Dir), cfg.Dir, pkg, info, facts)
+	if rc := writeVetx(); rc != 0 {
+		return rc
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
 	found := 0
-	for _, d := range runSuite(fset, files, pkg, info) {
+	for _, d := range res.diags {
 		fmt.Fprintln(os.Stderr, d)
 		found++
 	}

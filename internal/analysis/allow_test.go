@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// collectFrom parses src as one file and returns its AllowSet plus the
+// fset used, so tests can build diagnostics at chosen lines.
+func collectFrom(t *testing.T, src string) (*token.FileSet, *AllowSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, CollectAllows(fset, []*ast.File{f})
+}
+
+func diagAt(fset *token.FileSet, line int, analyzer string) Diagnostic {
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(line)
+		return false
+	})
+	return Diagnostic{Pos: pos, Analyzer: analyzer, Message: "test"}
+}
+
+func TestAllowSameLine(t *testing.T) {
+	fset, s := collectFrom(t, `package p
+
+func f() int {
+	return 1 //lint:allow nansafe finite by construction
+}
+`)
+	if !s.Allowed(fset, diagAt(fset, 4, "nansafe")) {
+		t.Error("trailing annotation did not suppress its own line")
+	}
+	if s.Allowed(fset, diagAt(fset, 4, "detrand")) {
+		t.Error("annotation suppressed a different analyzer")
+	}
+	if len(s.Invalid) != 0 {
+		t.Errorf("valid annotation marked invalid: %v", s.Invalid)
+	}
+}
+
+func TestAllowLineAbove(t *testing.T) {
+	fset, s := collectFrom(t, `package p
+
+func f() int {
+	//lint:allow nansafe hours are finite
+	return 1
+}
+`)
+	if !s.Allowed(fset, diagAt(fset, 5, "nansafe")) {
+		t.Error("annotation on its own line did not cover the next line")
+	}
+	if !s.Allowed(fset, diagAt(fset, 4, "nansafe")) {
+		t.Error("annotation did not cover its own line")
+	}
+	if s.Allowed(fset, diagAt(fset, 6, "nansafe")) {
+		t.Error("annotation leaked two lines down")
+	}
+}
+
+func TestAllowMissingReasonIsInvalid(t *testing.T) {
+	fset, s := collectFrom(t, `package p
+
+//lint:allow nansafe
+func f() {}
+`)
+	if len(s.Invalid) != 1 {
+		t.Fatalf("got %d invalid annotations, want 1", len(s.Invalid))
+	}
+	if s.Allowed(fset, diagAt(fset, 4, "nansafe")) {
+		t.Error("reasonless annotation suppressed a diagnostic")
+	}
+}
+
+func TestAllowBareAndMalformedAreInvalid(t *testing.T) {
+	_, s := collectFrom(t, `package p
+
+//lint:allow
+func f() {}
+
+//lint:allowgoleak smushed together
+func g() {}
+`)
+	if len(s.Invalid) != 2 {
+		t.Fatalf("got %d invalid annotations, want 2 (bare and smushed)", len(s.Invalid))
+	}
+}
+
+func TestAllowWhitespaceReasonIsInvalid(t *testing.T) {
+	_, s := collectFrom(t, "package p\n\n//lint:allow nansafe    \t \nfunc f() {}\n")
+	if len(s.Invalid) != 1 {
+		t.Fatalf("got %d invalid annotations, want 1", len(s.Invalid))
+	}
+}
+
+func TestAllowDistinctAnalyzersOnAdjacentLines(t *testing.T) {
+	fset, s := collectFrom(t, `package p
+
+func f() int {
+	//lint:allow detrand clock read feeds only the latency histogram
+	return 1 //lint:allow nansafe finite by construction
+}
+`)
+	for _, name := range []string{"detrand", "nansafe"} {
+		if !s.Allowed(fset, diagAt(fset, 5, name)) {
+			t.Errorf("%s not suppressed on line 5", name)
+		}
+	}
+	if s.Allowed(fset, diagAt(fset, 5, "goleak")) {
+		t.Error("unnamed analyzer suppressed")
+	}
+}
+
+func TestAllowOtherLintDirectivesIgnored(t *testing.T) {
+	_, s := collectFrom(t, `package p
+
+//lint:ignore SA1000 other tools' directives are not ours
+func f() {}
+`)
+	if len(s.Invalid) != 0 {
+		t.Errorf("foreign //lint directive marked invalid: %v", s.Invalid)
+	}
+}

@@ -23,6 +23,10 @@ type Analyzer struct {
 	Doc string
 	// Run executes the analyzer over one package.
 	Run func(*Pass) error
+	// FactTypes declares prototype values of every Fact kind the
+	// analyzer exports or imports, so the driver can register them for
+	// cross-process serialization.
+	FactTypes []Fact
 }
 
 // Pass carries one package's syntax and type information to an
@@ -37,9 +41,37 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// TestFiles holds syntax-only parses of the package's *_test.go
+	// files (no type information — they are never type-checked).
+	// Analyzers that audit test-side artifacts (benchgate's snapshot
+	// gates) read them; everything else ignores them.
+	TestFiles []*ast.File
+	// Dir is the package's source directory, for analyzers that must
+	// consult sibling build artifacts (benchgate's Makefile lookup).
+	Dir string
+	// Facts is the run-wide fact store shared by every pass. Facts
+	// exported while analyzing a dependency are importable here.
+	Facts *FactStore
+
 	// Report delivers one diagnostic. The driver attributes it to the
 	// running analyzer and applies `//lint:allow` suppression.
 	Report func(Diagnostic)
+}
+
+// TextEdit is one replacement: the bytes in [Pos, End) become NewText.
+// An insertion has Pos == End.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// SuggestedFix is one machine-applicable resolution of a diagnostic,
+// applied by `rainshinelint -fix` and verified against golden .fixed
+// files by the analysistest harness. Edits must not overlap.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
 }
 
 // Diagnostic is one finding, anchored to a source position.
@@ -47,6 +79,10 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+	// SuggestedFixes, when non-empty, resolve the finding mechanically.
+	// Every fix in the list is applied by -fix (they must be disjoint
+	// aspects of the same finding, not alternatives).
+	SuggestedFixes []SuggestedFix
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -1,0 +1,206 @@
+// Facts: cross-function, cross-package propagation of properties an
+// analyzer proves about package-level objects ("spawns a goroutine",
+// "blocks on a channel", "reads the wall clock"). The design mirrors
+// golang.org/x/tools/go/analysis facts, shrunk to what a stdlib-only
+// driver can carry:
+//
+//   - a Fact is a JSON-serializable struct naming its kind;
+//   - facts attach to package-level functions and methods, keyed by
+//     (package path, [Receiver.]Name) rather than by object identity,
+//     so they survive serialization across processes;
+//   - the driver analyzes packages in dependency order and hands every
+//     pass one shared FactStore, so a fact exported while analyzing
+//     internal/resilience is importable while analyzing internal/server;
+//   - under the go vet -vettool protocol the store round-trips through
+//     the .vetx files cmd/go threads between per-package invocations.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is one exportable property of a package-level object. Concrete
+// fact types must be JSON-marshalable structs; FactKind names the type
+// stably across processes and must be unique within the suite.
+type Fact interface {
+	FactKind() string
+}
+
+// ObjRef names a package-level object portably: functions by name,
+// methods as "Receiver.Name". It is the serialization key for facts.
+type ObjRef struct {
+	Pkg  string `json:"pkg"`
+	Name string `json:"name"`
+}
+
+// RefOf derives the portable reference for obj, reporting false for
+// objects facts cannot attach to (builtins, locals, nil packages).
+func RefOf(obj types.Object) (ObjRef, bool) {
+	if obj == nil || obj.Pkg() == nil || obj.Name() == "" {
+		return ObjRef{}, false
+	}
+	name := obj.Name()
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return ObjRef{}, false
+			}
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	return ObjRef{Pkg: obj.Pkg().Path(), Name: name}, true
+}
+
+// FactStore holds every fact exported so far in one driver run, across
+// packages and analyzers. It is not safe for concurrent use; the driver
+// is single-threaded by design (deterministic diagnostics).
+type FactStore struct {
+	objs  map[ObjRef]map[string]Fact
+	kinds map[string]reflect.Type
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		objs:  map[ObjRef]map[string]Fact{},
+		kinds: map[string]reflect.Type{},
+	}
+}
+
+// Register teaches the store the concrete types behind fact kinds so
+// serialized facts can be decoded. Analyzers declare prototypes in
+// Analyzer.FactTypes; the driver registers them before any pass runs.
+func (s *FactStore) Register(prototypes ...Fact) {
+	for _, p := range prototypes {
+		t := reflect.TypeOf(p)
+		for t.Kind() == reflect.Pointer {
+			t = t.Elem()
+		}
+		s.kinds[p.FactKind()] = t
+	}
+}
+
+// ExportObject records fact f about ref, overwriting a same-kind fact.
+func (s *FactStore) ExportObject(ref ObjRef, f Fact) {
+	m := s.objs[ref]
+	if m == nil {
+		m = map[string]Fact{}
+		s.objs[ref] = m
+	}
+	m[f.FactKind()] = f
+}
+
+// Object returns the fact of the given kind recorded about ref.
+func (s *FactStore) Object(ref ObjRef, kind string) (Fact, bool) {
+	f, ok := s.objs[ref][kind]
+	return f, ok
+}
+
+// serialFact is the on-disk form of one (object, fact) pair.
+type serialFact struct {
+	Ref  ObjRef          `json:"ref"`
+	Kind string          `json:"kind"`
+	Fact json.RawMessage `json:"fact"`
+}
+
+// serialDoc wraps the fact list with a magic field so a reader can
+// distinguish it from unrelated vetx content.
+type serialDoc struct {
+	Magic string       `json:"rainshinelint_facts"`
+	Facts []serialFact `json:"facts"`
+}
+
+const factMagic = "v1"
+
+// EncodePackage serializes every fact attached to objects of pkgPath,
+// deterministically ordered, for the package's .vetx file. Keys are
+// collected and sorted before anything is marshaled, so the output is
+// a pure function of the store's contents.
+func (s *FactStore) EncodePackage(pkgPath string) ([]byte, error) {
+	var refs []ObjRef
+	for ref := range s.objs {
+		if ref.Pkg == pkgPath {
+			refs = append(refs, ref)
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Name < refs[j].Name })
+	doc := serialDoc{Magic: factMagic}
+	for _, ref := range refs {
+		var kinds []string
+		for kind := range s.objs[ref] {
+			kinds = append(kinds, kind)
+		}
+		sort.Strings(kinds)
+		for _, kind := range kinds {
+			raw, err := json.Marshal(s.objs[ref][kind])
+			if err != nil {
+				return nil, fmt.Errorf("encoding fact %s of %s.%s: %w", kind, ref.Pkg, ref.Name, err)
+			}
+			doc.Facts = append(doc.Facts, serialFact{Ref: ref, Kind: kind, Fact: raw})
+		}
+	}
+	return json.Marshal(doc)
+}
+
+// DecodeInto merges a serialized fact document into the store. Content
+// that is not a fact document (older vetx placeholders, other tools') is
+// ignored without error; facts of unregistered kinds are skipped.
+func (s *FactStore) DecodeInto(data []byte) error {
+	var doc serialDoc
+	if err := json.Unmarshal(data, &doc); err != nil || doc.Magic != factMagic {
+		return nil
+	}
+	for _, sf := range doc.Facts {
+		t, ok := s.kinds[sf.Kind]
+		if !ok {
+			continue
+		}
+		v := reflect.New(t)
+		if err := json.Unmarshal(sf.Fact, v.Interface()); err != nil {
+			return fmt.Errorf("decoding fact %s of %s.%s: %w", sf.Kind, sf.Ref.Pkg, sf.Ref.Name, err)
+		}
+		f, ok := v.Interface().(Fact)
+		if !ok {
+			// Fact types are declared as values; try the element.
+			f, ok = v.Elem().Interface().(Fact)
+		}
+		if ok {
+			s.ExportObject(sf.Ref, f)
+		}
+	}
+	return nil
+}
+
+// ExportObjectFact records fact f about obj for later passes (same run
+// or, through the vetx round-trip, later processes). Objects that have
+// no portable reference are ignored.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.Facts == nil {
+		return
+	}
+	if ref, ok := RefOf(obj); ok {
+		p.Facts.ExportObject(ref, f)
+	}
+}
+
+// ImportObjectFact retrieves the fact of the given kind recorded about
+// obj by this pass or an earlier one.
+func (p *Pass) ImportObjectFact(obj types.Object, kind string) (Fact, bool) {
+	if p.Facts == nil {
+		return nil, false
+	}
+	ref, ok := RefOf(obj)
+	if !ok {
+		return nil, false
+	}
+	return p.Facts.Object(ref, kind)
+}

@@ -1,0 +1,90 @@
+// Suggested-fix application: the engine behind `rainshinelint -fix`.
+// Edits are gathered per file, ordered, checked for overlap, and
+// applied to the file bytes in one pass. Applying the fixes for a
+// clean tree is a no-op by construction — a second -fix run finds no
+// diagnostics and therefore edits nothing — which is what the
+// lint-fix-check CI job proves.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// editSpan is one edit resolved to byte offsets within a single file.
+type editSpan struct {
+	start, end int
+	text       []byte
+}
+
+// ApplyFixes applies every suggested fix carried by diags to the file
+// contents provided by readFile, returning the new content of each
+// changed file. Overlapping edits are an analyzer bug and surface as an
+// error naming the position.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, readFile func(string) ([]byte, error)) (map[string][]byte, error) {
+	perFile := map[string][]editSpan{}
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, e := range fix.TextEdits {
+				if !e.Pos.IsValid() || e.End < e.Pos {
+					return nil, fmt.Errorf("invalid text edit in fix %q", fix.Message)
+				}
+				pos := fset.Position(e.Pos)
+				end := fset.Position(e.End)
+				if end.Filename != pos.Filename {
+					return nil, fmt.Errorf("%s: text edit spans files", pos)
+				}
+				perFile[pos.Filename] = append(perFile[pos.Filename], editSpan{
+					start: pos.Offset, end: end.Offset, text: e.NewText,
+				})
+			}
+		}
+	}
+	out := map[string][]byte{}
+	for name, edits := range perFile {
+		src, err := readFile(name)
+		if err != nil {
+			return nil, err
+		}
+		fixed, err := applyEdits(src, edits)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out[name] = fixed
+	}
+	return out, nil
+}
+
+// applyEdits rewrites src with the given spans. Identical duplicate
+// edits (two diagnostics proposing the same rewrite) collapse to one;
+// genuinely overlapping distinct edits are rejected.
+func applyEdits(src []byte, edits []editSpan) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].start != edits[j].start {
+			return edits[i].start < edits[j].start
+		}
+		return edits[i].end < edits[j].end
+	})
+	var out []byte
+	last := 0
+	for i, e := range edits {
+		if e.start > len(src) || e.end > len(src) {
+			return nil, fmt.Errorf("edit at offset %d beyond file size %d", e.start, len(src))
+		}
+		if i > 0 {
+			p := edits[i-1]
+			if e.start == p.start && e.end == p.end && string(e.text) == string(p.text) {
+				continue
+			}
+		}
+		if e.start < last {
+			return nil, fmt.Errorf("overlapping suggested fixes at offset %d", e.start)
+		}
+		out = append(out, src[last:e.start]...)
+		out = append(out, e.text...)
+		last = e.end
+	}
+	out = append(out, src[last:]...)
+	return out, nil
+}

@@ -10,6 +10,7 @@
 package load
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/build"
@@ -193,6 +194,30 @@ type importerFunc func(string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
+// ParseTestFiles parses the *_test.go files of dir syntax-only (with
+// comments, no type checking) into fset. Analyzers that audit
+// test-side artifacts read these through Pass.TestFiles; a directory
+// without test files yields nil. Files that fail to parse are skipped:
+// the compiler owns test-file syntax errors, not the lint driver.
+func ParseTestFiles(fset *token.FileSet, dir string) []*ast.File {
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	bp, err := ctx.ImportDir(dir, 0)
+	if err != nil && bp == nil {
+		return nil
+	}
+	names := append(append([]string(nil), bp.TestGoFiles...), bp.XTestGoFiles...)
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err == nil {
+			files = append(files, f)
+		}
+	}
+	return files
+}
+
 // ModulePackages walks the module below root and returns the import
 // paths of every buildable package, skipping testdata, hidden
 // directories, and the lint suite's own fixture trees.
@@ -211,7 +236,20 @@ func ModulePackages(module, root string) ([]string, error) {
 		}
 		ctx := build.Default
 		ctx.CgoEnabled = false
-		if bp, err := ctx.ImportDir(path, 0); err == nil && len(bp.GoFiles) > 0 {
+		bp, err := ctx.ImportDir(path, 0)
+		if err != nil {
+			// A directory without buildable Go files is not a package;
+			// anything else (a file whose package clause will not scan,
+			// two package names in one directory) must abort the walk
+			// loudly — silently skipping it would let `./...` exit 0
+			// with the package unanalyzed.
+			var noGo *build.NoGoError
+			if errors.As(err, &noGo) {
+				return nil
+			}
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if len(bp.GoFiles) > 0 {
 			rel, err := filepath.Rel(root, path)
 			if err != nil {
 				return err

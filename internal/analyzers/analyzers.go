@@ -1,14 +1,19 @@
-// Package analyzers registers the rainshinelint suite: the five custom
+// Package analyzers registers the rainshinelint suite: the nine custom
 // passes that machine-check the repository's determinism, aliasing,
-// context, and JSON-stability invariants (see DESIGN.md, "Enforced
+// context, concurrency-lifecycle, locking, clock-injection, JSON-
+// stability, and benchmark-gating invariants (see DESIGN.md, "Enforced
 // invariants").
 package analyzers
 
 import (
 	"rainshine/internal/analysis"
+	"rainshine/internal/analyzers/benchgate"
+	"rainshine/internal/analyzers/clockinject"
 	"rainshine/internal/analyzers/ctxflow"
 	"rainshine/internal/analyzers/detrand"
 	"rainshine/internal/analyzers/frameclone"
+	"rainshine/internal/analyzers/goleak"
+	"rainshine/internal/analyzers/lockorder"
 	"rainshine/internal/analyzers/nansafe"
 	"rainshine/internal/analyzers/parsafe"
 )
@@ -16,9 +21,13 @@ import (
 // All returns the full suite in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		benchgate.Analyzer,
+		clockinject.Analyzer,
 		ctxflow.Analyzer,
 		detrand.Analyzer,
 		frameclone.Analyzer,
+		goleak.Analyzer,
+		lockorder.Analyzer,
 		nansafe.Analyzer,
 		parsafe.Analyzer,
 	}

@@ -1,0 +1,181 @@
+// Package benchgate audits the benchmark-snapshot discipline around
+// internal/benchsnap: every mark written into a BENCH_*.json snapshot
+// (an assignment through a `Results` map) must
+//
+//  1. happen inside a TestBench* gate function, so `go test -run
+//     TestBench...` replays it;
+//  2. be read back by a Budget(...) (or Results[...]) lookup somewhere
+//     in the package's tests when the key is a literal — a mark nobody
+//     compares against is dead weight that silently rots; and
+//  3. have its gate function named in a Makefile bench target, so the
+//     snapshot regenerates through `make` rather than folklore.
+//
+// Baseline writes (`Baselines[...]`) are exempt: baselines are
+// recorded once and read by humans. Variable keys skip rule 2 — the
+// read cannot be matched textually — but rules 1 and 3 still apply.
+//
+// The pass works on Pass.TestFiles (syntax-only parses of the
+// package's _test.go files) and resolves the Makefile by walking up
+// from Pass.Dir, stopping at the module root.
+package benchgate
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"rainshine/internal/analysis"
+)
+
+// Analyzer is the benchgate pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "benchgate",
+	Doc:  "require every benchmark snapshot mark to be written in a TestBench* gate, read back, and wired into a make bench target",
+	Run:  run,
+}
+
+// write is one `X.Results[key] = ...` assignment found in a test file.
+type write struct {
+	pos     token.Pos
+	key     string // literal key, or "" for computed keys
+	gate    string // enclosing function name
+	gatePos token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	if len(pass.TestFiles) == 0 {
+		return nil
+	}
+	var writes []write
+	reads := map[string]bool{}
+	for _, f := range pass.TestFiles {
+		collectWrites(f, &writes)
+		collectReads(f, reads)
+	}
+	if len(writes) == 0 {
+		return nil
+	}
+	makefile := findMakefile(pass.Dir)
+	for _, w := range writes {
+		if !strings.HasPrefix(w.gate, "TestBench") {
+			pass.Reportf(w.pos, "benchmark snapshot write outside a TestBench* gate: move it into a TestBench* function so the mark replays under go test")
+			continue
+		}
+		if w.key != "" && !reads[w.key] {
+			pass.Reportf(w.pos, "snapshot mark %q is written but never read back: add a Budget(%q, ...) gate so regressions fail a test", w.key, w.key)
+		}
+		if makefile == "" {
+			pass.Reportf(w.pos, "gate %s is not reachable from make: no Makefile found between this package and the module root", w.gate)
+		} else if content, err := os.ReadFile(makefile); err != nil || !strings.Contains(string(content), w.gate) {
+			pass.Reportf(w.pos, "gate %s is not wired into %s: add it to a bench target so the snapshot regenerates through make", w.gate, filepath.Base(makefile))
+		}
+	}
+	return nil
+}
+
+// collectWrites records index-assignments through a Results selector;
+// Baselines writes are deliberately ignored.
+func collectWrites(f *ast.File, out *[]write) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := ast.Unparen(idx.X).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Results" {
+					continue
+				}
+				*out = append(*out, write{
+					pos:     as.Pos(),
+					key:     literalKey(idx.Index),
+					gate:    fd.Name.Name,
+					gatePos: fd.Name.Pos(),
+				})
+			}
+			return true
+		})
+	}
+}
+
+// collectReads records literal keys consumed by Budget("key", ...)
+// calls or by Results["key"] lookups outside an assignment's LHS.
+func collectReads(f *ast.File, reads map[string]bool) {
+	lhs := map[ast.Expr]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, l := range as.Lhs {
+				lhs[ast.Unparen(l)] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if ok && sel.Sel.Name == "Budget" && len(n.Args) >= 1 {
+				if k := literalKey(n.Args[0]); k != "" {
+					reads[k] = true
+				}
+			}
+		case *ast.IndexExpr:
+			if lhs[n] {
+				return true
+			}
+			sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr)
+			if ok && sel.Sel.Name == "Results" {
+				if k := literalKey(n.Index); k != "" {
+					reads[k] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func literalKey(e ast.Expr) string {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return ""
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return ""
+	}
+	return s
+}
+
+// findMakefile walks up from dir looking for a Makefile, stopping at
+// the module root (the first directory holding go.mod) or the
+// filesystem root. Fixture packages carry their own Makefile so the
+// walk never escapes the testdata tree into the real repository.
+func findMakefile(dir string) string {
+	for i := 0; dir != "" && i < 40; i++ {
+		mk := filepath.Join(dir, "Makefile")
+		if fi, err := os.Stat(mk); err == nil && !fi.IsDir() {
+			return mk
+		}
+		if fi, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil && !fi.IsDir() {
+			return ""
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package benchgate_test
+
+import (
+	"testing"
+
+	"rainshine/internal/analysis/analysistest"
+	"rainshine/internal/analyzers/benchgate"
+)
+
+func TestBenchgate(t *testing.T) {
+	analysistest.Run(t, "testdata", benchgate.Analyzer, "bench")
+}

@@ -1,0 +1,20 @@
+// Package bench is a benchgate fixture: a miniature of the repo's
+// benchsnap snapshot/gate discipline. The production side holds the
+// snapshot document type; the discipline under test lives entirely in
+// the _test.go file, which the pass reads through Pass.TestFiles.
+package bench
+
+// doc mirrors benchsnap.Doc: named results gated by budgets, plus
+// ungated baselines.
+type doc struct {
+	Results   map[string]float64
+	Baselines map[string]float64
+}
+
+// Budget returns the recorded result for name, capped by gate.
+func (d *doc) Budget(name string, gate float64) float64 {
+	if v, ok := d.Results[name]; ok && v < gate {
+		return v
+	}
+	return gate
+}

@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+func TestBenchGood(t *testing.T) {
+	d := &doc{Results: map[string]float64{}}
+	d.Results["fit_fast"] = 1
+	if d.Budget("fit_fast", 2) > 2 {
+		t.Fatal("over budget")
+	}
+}
+
+func TestBenchVarKey(t *testing.T) {
+	d := &doc{Results: map[string]float64{}}
+	for _, name := range []string{"a", "b"} {
+		d.Results[name] = 1
+	}
+}
+
+func TestBenchBaselineOnly(t *testing.T) {
+	d := &doc{Baselines: map[string]float64{}}
+	d.Baselines["reference_run"] = 42
+}
+
+func TestBenchNoRead(t *testing.T) {
+	d := &doc{Results: map[string]float64{}}
+	d.Results["orphan_mark"] = 1 // want `snapshot mark "orphan_mark" is written but never read back`
+}
+
+func helperNotAGate() {
+	d := &doc{Results: map[string]float64{}}
+	d.Results["hidden_mark"] = 1 // want `benchmark snapshot write outside a TestBench\* gate`
+}
+
+func TestBenchUnwired(t *testing.T) {
+	d := &doc{Results: map[string]float64{}}
+	d.Results["unwired_mark"] = 1 // want `gate TestBenchUnwired is not wired into Makefile`
+	_ = d.Budget("unwired_mark", 2)
+}

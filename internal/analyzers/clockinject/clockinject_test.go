@@ -1,0 +1,13 @@
+package clockinject_test
+
+import (
+	"testing"
+
+	"rainshine/internal/analysis/analysistest"
+	"rainshine/internal/analyzers/clockinject"
+)
+
+func TestClockinject(t *testing.T) {
+	// clockdep first: clockinj imports its WallClock facts.
+	analysistest.RunWithSuggestedFixes(t, "testdata", clockinject.Analyzer, "clockdep", "clockinj", "a")
+}

@@ -1,0 +1,46 @@
+// Package a exercises rules A and C outside the clock-injected
+// packages: methods of now-field types get autofixed onto the injected
+// clock, and bare timer primitives are flagged.
+package a
+
+import "time"
+
+// Svc carries an injected clock.
+type Svc struct {
+	start time.Time
+	now   func() time.Time
+}
+
+func (s *Svc) stamp() time.Time {
+	return time.Now() // want `time.Now in a method of a clock-injected type: call s.now\(\)`
+}
+
+func (s *Svc) uptime() time.Duration {
+	return time.Since(s.start) // want `time.Since in a method of a clock-injected type: call s.now\(\).Sub`
+}
+
+func (s *Svc) good() time.Time {
+	return s.now()
+}
+
+// plain has no now field: time.Now here is detrand's business, not
+// clockinject's.
+type plain struct {
+	n int
+}
+
+func (p *plain) stamp() time.Time {
+	return time.Now()
+}
+
+func napping(d time.Duration) {
+	time.Sleep(d) // want `time.Sleep creates a wall-clock timer`
+}
+
+func polling() <-chan time.Time {
+	return time.Tick(time.Second) // want `time.Tick creates a wall-clock timer`
+}
+
+func allowed(d time.Duration) {
+	time.Sleep(d) //lint:allow clockinject fixture proves suppression works
+}

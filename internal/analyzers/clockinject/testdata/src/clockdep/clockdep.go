@@ -1,0 +1,22 @@
+// Package clockdep is a clockinject fixture dependency: WallNow reads
+// the wall clock, so a WallClock fact is exported for it (and,
+// transitively, for Stamp) that the clock-injected fixture package
+// imports across the package boundary.
+package clockdep
+
+import "time"
+
+// WallNow reads the wall clock directly.
+func WallNow() time.Time {
+	return time.Now()
+}
+
+// Stamp reads it through WallNow.
+func Stamp() int64 {
+	return WallNow().Unix()
+}
+
+// Pure never touches the clock.
+func Pure(x int) int {
+	return x + 1
+}

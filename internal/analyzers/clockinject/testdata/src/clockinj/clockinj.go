@@ -1,0 +1,47 @@
+// Package clockinj is the fixture twin of the clock-injected packages
+// (internal/resilience, internal/faults): no wall-clock or timer call
+// may appear here, and calls into functions other packages exported
+// WallClock facts for are flagged too.
+package clockinj
+
+import (
+	"time"
+
+	"clockdep"
+)
+
+// Gate is the injected-clock pattern: time enters only through now.
+type Gate struct {
+	open time.Time
+	now  func() time.Time
+}
+
+// NewGate defaults the clock with a value reference — not a call, so
+// it is allowed even here.
+func NewGate(now func() time.Time) *Gate {
+	if now == nil {
+		now = time.Now
+	}
+	return &Gate{now: now}
+}
+
+// Open consults only the injected clock.
+func (g *Gate) Open() bool {
+	return g.now().After(g.open)
+}
+
+func sleepy(d time.Duration) {
+	time.Sleep(d) // want `time.Sleep in clock-injected package clockinj`
+}
+
+func ticking() <-chan time.Time {
+	return time.After(time.Second) // want `time.After in clock-injected package clockinj`
+}
+
+func viaFact() int64 {
+	return clockdep.Stamp() // want `call to Stamp, which reads the wall clock`
+}
+
+func pureCallIsFine() int {
+	return clockdep.Pure(41)
+}

@@ -1,0 +1,13 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"rainshine/internal/analysis/analysistest"
+	"rainshine/internal/analyzers/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	// ctxdep first: package a imports its CtxIgnored facts.
+	analysistest.Run(t, "testdata", goleak.Analyzer, "ctxdep", "a")
+}

@@ -1,0 +1,106 @@
+// Package a exercises the goleak rules: joined spawns pass, unjoined
+// and unbounded spawns are flagged, and context bounds are pierced by
+// the CtxIgnored fact exported from package ctxdep.
+package a
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"ctxdep"
+)
+
+func waitGroupJoin(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func deferredWaitJoin(items []int) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+}
+
+func channelJoin() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	return <-errc
+}
+
+func selectJoin(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+	}
+}
+
+func rangeJoin() int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		out <- 1
+	}()
+	total := 0
+	for v := range out {
+		total += v
+	}
+	return total
+}
+
+func ctxParamBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func ctxLocalBound() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ctxdep.Obey(ctx)
+}
+
+func leak() {
+	go func() { // want `goroutine is never joined`
+		n := 0
+		for n >= 0 {
+			n++
+		}
+	}()
+}
+
+func backgroundIsNotABound() {
+	ctx := context.Background()
+	go ctxdep.Obey(ctx) // want `goroutine is never joined`
+}
+
+func depIgnoresCtx(ctx context.Context) {
+	go ctxdep.Spin(ctx) // want `a context that Spin ignores`
+}
+
+func localIgnoresCtx(ctx context.Context) {
+	go shrug(ctx) // want `a context that shrug ignores`
+}
+
+func shrug(ctx context.Context) {
+	n := 0
+	for n >= 0 {
+		n++
+	}
+}

@@ -1,0 +1,19 @@
+// Package ctxdep is a goleak fixture dependency: Spin takes a context
+// and ignores it, so the pass exports a CtxIgnored fact that package a
+// imports across the package boundary.
+package ctxdep
+
+import "context"
+
+// Spin busy-works forever, never consulting ctx.
+func Spin(ctx context.Context) {
+	n := 0
+	for n >= 0 {
+		n++
+	}
+}
+
+// Obey honors its context and therefore carries no fact.
+func Obey(ctx context.Context) {
+	<-ctx.Done()
+}

@@ -1,0 +1,30 @@
+// Package lockdep is a lockorder fixture dependency: Fill blocks on a
+// channel (exporting a Blocks fact) and Pool.Get acquires Pool.mu
+// (exporting a Locks fact); package a consumes both across the package
+// boundary.
+package lockdep
+
+import "sync"
+
+// Pool guards a freelist with a mutex.
+type Pool struct {
+	mu   sync.Mutex
+	free []int
+}
+
+// Get pops from the freelist under Pool.mu.
+func (p *Pool) Get() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		return 0
+	}
+	v := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return v
+}
+
+// Fill blocks until the channel delivers.
+func Fill(ch chan int) int {
+	return <-ch
+}

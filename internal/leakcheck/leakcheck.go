@@ -1,0 +1,139 @@
+// Package leakcheck is the runtime complement to the goleak static
+// analyzer: a test registers the harness at the top, and when the test
+// (including every later-registered cleanup, so servers shut down
+// first) finishes, the package snapshots the goroutine dump and fails
+// the test if goroutines born during the test are still alive. The
+// check retries for a grace period — shutdown is asynchronous by
+// design (watchers drain, long-polls time out) — so only goroutines
+// that survive the grace window count as leaks.
+//
+//	func TestServerSoak(t *testing.T) {
+//		leakcheck.Check(t)
+//		...
+//	}
+//
+// Benign runtime and testing goroutines (test runners, the signal
+// watcher, collector workers) are filtered by stack signature.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+const (
+	// retryStep spaces the drain polls; grace bounds the total wait.
+	retryStep = 10 * time.Millisecond
+	grace     = 2 * time.Second
+)
+
+// Check snapshots the current goroutine set and registers a cleanup
+// that fails t if goroutines created since are still running once the
+// test and its later-registered cleanups have finished. Call it before
+// starting servers or streams: t.Cleanup runs last-in-first-out, so
+// the check observes the world after those components shut down.
+func Check(t testing.TB) {
+	t.Helper()
+	before := goroutineIDs()
+	t.Cleanup(func() {
+		t.Helper()
+		if extra := leaked(before); len(extra) > 0 {
+			t.Errorf("leakcheck: %d goroutine(s) leaked by this test:\n%s", len(extra), strings.Join(extra, "\n"))
+		}
+	})
+}
+
+// leaked reports the stacks of goroutines not in before that are still
+// alive after retrying for up to the grace period. Split from Check so
+// the package can test its own detection without failing the caller.
+func leaked(before map[string]bool) []string {
+	for elapsed := time.Duration(0); ; elapsed += retryStep {
+		extra := newGoroutines(before)
+		if len(extra) == 0 || elapsed >= grace {
+			return extra
+		}
+		time.Sleep(retryStep) //lint:allow clockinject the wait is for real scheduler progress; no timestamp is produced
+	}
+}
+
+// newGoroutines returns the interesting stacks whose IDs are not in
+// before, sorted for deterministic failure output.
+func newGoroutines(before map[string]bool) []string {
+	var out []string
+	for id, stack := range stacksByID() {
+		if !before[id] && !benign(stack) {
+			out = append(out, fmt.Sprintf("goroutine %s:\n%s", id, indent(stack)))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// goroutineIDs snapshots the IDs of every live goroutine.
+func goroutineIDs() map[string]bool {
+	ids := map[string]bool{}
+	for id := range stacksByID() {
+		ids[id] = true
+	}
+	return ids
+}
+
+// stacksByID parses runtime.Stack's all-goroutine dump into one stack
+// per goroutine ID.
+func stacksByID() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	stacks := map[string]string{}
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		header, rest, ok := strings.Cut(g, "\n")
+		if !ok || !strings.HasPrefix(header, "goroutine ") {
+			continue
+		}
+		id, _, ok := strings.Cut(strings.TrimPrefix(header, "goroutine "), " ")
+		if !ok {
+			continue
+		}
+		stacks[id] = rest
+	}
+	return stacks
+}
+
+// benignMarkers identify infrastructure goroutines that come and go
+// outside any one test's control.
+var benignMarkers = []string{
+	"testing.(*T).Run",      // a runner waiting on subtests
+	"testing.tRunner",       // another test's runner goroutine
+	"testing.runTests",      // the top-level driver
+	"testing.(*M).Run",      // TestMain
+	"runtime.goexit0",       // fully unwound, about to die
+	"os/signal.signal_recv", // the process-wide signal watcher
+	"os/signal.loop",
+	"runtime.bgsweep", // collector workers
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime.gcBgMarkWorker",
+}
+
+func benign(stack string) bool {
+	for _, m := range benignMarkers {
+		if strings.Contains(stack, m) {
+			return true
+		}
+	}
+	return false
+}
+
+func indent(s string) string {
+	return "\t" + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n\t")
+}

@@ -1,0 +1,79 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDetectsBlockedGoroutine exercises the detection path directly —
+// via newGoroutines rather than Check, so the deliberate leak fails an
+// assertion instead of the test itself.
+func TestDetectsBlockedGoroutine(t *testing.T) {
+	before := goroutineIDs()
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-release
+	}()
+
+	var extra []string
+	for i := 0; i < 200; i++ {
+		if extra = newGoroutines(before); len(extra) > 0 {
+			break
+		}
+		time.Sleep(retryStep) //lint:allow clockinject waiting for the deliberately leaked goroutine to be scheduled
+	}
+	if len(extra) != 1 {
+		t.Fatalf("newGoroutines reported %d goroutines, want 1: %v", len(extra), extra)
+	}
+	if !strings.Contains(extra[0], "TestDetectsBlockedGoroutine") {
+		t.Errorf("leaked stack does not name its creator:\n%s", extra[0])
+	}
+
+	close(release)
+	<-done
+	if extra := leaked(before); len(extra) != 0 {
+		t.Errorf("leaked still reports %d goroutines after release: %v", len(extra), extra)
+	}
+}
+
+// TestLeakedWaitsForDrain verifies the grace-period retry: a goroutine
+// that exits shortly after the check starts must not be reported.
+func TestLeakedWaitsForDrain(t *testing.T) {
+	before := goroutineIDs()
+	go func() {
+		time.Sleep(20 * retryStep) //lint:allow clockinject simulating asynchronous shutdown in the harness's own test
+	}()
+	if extra := leaked(before); len(extra) != 0 {
+		t.Errorf("leaked reported a draining goroutine: %v", extra)
+	}
+}
+
+// TestBenignFiltering pins the infrastructure filter.
+func TestBenignFiltering(t *testing.T) {
+	if !benign("os/signal.signal_recv()\n\t/usr/lib/go/src/runtime/sigqueue.go:152") {
+		t.Error("signal watcher not filtered")
+	}
+	if benign("rainshine/internal/server.(*Server).Serve()\n\tserve.go:40") {
+		t.Error("application goroutine wrongly filtered")
+	}
+}
+
+// TestCheckOrdersAfterCleanups proves the t.Cleanup LIFO contract Check
+// relies on: a goroutine stopped by a cleanup registered after Check is
+// already gone when Check's cleanup inspects the world.
+func TestCheckOrdersAfterCleanups(t *testing.T) {
+	Check(t)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+	}()
+	t.Cleanup(func() {
+		close(stop)
+		<-done
+	})
+}

@@ -1,0 +1,168 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// These tests script breaker and bucket timing against the fakeClock
+// from ratelimit_test.go, pinning every transition to an exact instant.
+
+func shed(t *testing.T, err error) *ShedError {
+	t.Helper()
+	var se *ShedError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want *ShedError", err)
+	}
+	return se
+}
+
+// TestBreakerHalfOpenProbeTiming scripts the open→half-open transition
+// against a frozen clock: one nanosecond before the cooldown the
+// circuit still sheds, at the boundary exactly one probe is admitted,
+// and concurrent attempts during the probe are shed.
+func TestBreakerHalfOpenProbeTiming(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(2, 10*time.Second, clock.now)
+
+	b.RecordFailure()
+	b.RecordFailure() // trips at threshold
+	if got := b.State(); got != Open {
+		t.Fatalf("state after threshold failures = %v, want %v", got, Open)
+	}
+
+	clock.advance(10*time.Second - time.Nanosecond)
+	if err := b.Allow(); err == nil {
+		t.Fatal("admitted 1ns before the cooldown elapsed")
+	} else if se := shed(t, err); se.Reason != BreakerOpen {
+		t.Fatalf("shed reason = %v, want %v", se.Reason, BreakerOpen)
+	}
+
+	clock.advance(time.Nanosecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted at the cooldown boundary: %v", err)
+	}
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state during probe = %v, want %v", got, HalfOpen)
+	}
+	if err := b.Allow(); err == nil {
+		t.Fatal("second attempt admitted while the probe is in flight")
+	}
+}
+
+// TestBreakerProbeFailureRestartsCooldown verifies that a failed probe
+// reopens the circuit with a fresh openedAt: the full cooldown must
+// elapse again, measured from the probe failure, not the original trip.
+func TestBreakerProbeFailureRestartsCooldown(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(1, 5*time.Second, clock.now)
+
+	b.RecordFailure()
+	clock.advance(5 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted: %v", err)
+	}
+	b.RecordFailure() // probe fails → reopen, cooldown restarts now
+
+	clock.advance(5*time.Second - time.Millisecond)
+	if err := b.Allow(); err == nil {
+		t.Fatal("admitted before the restarted cooldown elapsed")
+	}
+	clock.advance(time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe not admitted after full restarted cooldown: %v", err)
+	}
+	b.RecordSuccess()
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after successful probe = %v, want %v", got, Closed)
+	}
+	if got := b.Opens(); got != 2 {
+		t.Fatalf("Opens() = %d, want 2 (initial trip plus probe failure)", got)
+	}
+}
+
+// TestBreakerCanceledProbeReleasesSlot: abandoning the probe must allow
+// another probe without waiting out a new cooldown.
+func TestBreakerCanceledProbeReleasesSlot(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(1, time.Second, clock.now)
+	b.RecordFailure()
+	clock.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted: %v", err)
+	}
+	b.RecordCanceled()
+	if err := b.Allow(); err != nil {
+		t.Fatalf("replacement probe not admitted after cancel: %v", err)
+	}
+}
+
+// TestTokenBucketRefillIsPureInClock scripts refills token by token:
+// with the clock frozen the bucket never refills; each advance adds
+// exactly rate×dt tokens, capped at burst.
+func TestTokenBucketRefillIsPureInClock(t *testing.T) {
+	clock := newFakeClock()
+	tb := NewTokenBucket(2, 3, clock.now) // 2 tokens/s, burst 3
+
+	for i := 0; i < 3; i++ {
+		if err := tb.Allow(); err != nil {
+			t.Fatalf("burst token %d not admitted: %v", i, err)
+		}
+	}
+	if err := tb.Allow(); err == nil {
+		t.Fatal("admitted past burst with a frozen clock")
+	} else if se := shed(t, err); se.Reason != RateLimited {
+		t.Fatalf("shed reason = %v, want %v", se.Reason, RateLimited)
+	}
+
+	// 250ms at 2/s refills half a token: still shed.
+	clock.advance(250 * time.Millisecond)
+	if err := tb.Allow(); err == nil {
+		t.Fatal("admitted on half a token")
+	}
+	// Another 250ms completes the token. (The failed Allow above already
+	// banked the half token at its read of the clock.)
+	clock.advance(250 * time.Millisecond)
+	if err := tb.Allow(); err != nil {
+		t.Fatalf("whole token not admitted: %v", err)
+	}
+	if err := tb.Allow(); err == nil {
+		t.Fatal("same token admitted twice")
+	}
+}
+
+// TestTokenBucketCapsAtBurst: an arbitrarily long idle period refills
+// to burst, no further.
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	clock := newFakeClock()
+	tb := NewTokenBucket(1, 2, clock.now)
+	for i := 0; i < 2; i++ {
+		if err := tb.Allow(); err != nil {
+			t.Fatalf("burst token %d not admitted: %v", i, err)
+		}
+	}
+	clock.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if err := tb.Allow(); err != nil {
+			t.Fatalf("post-idle token %d not admitted: %v", i, err)
+		}
+	}
+	if err := tb.Allow(); err == nil {
+		t.Fatal("idle refill exceeded burst")
+	}
+}
+
+// TestTokenBucketBackwardClockDoesNotMint: a clock read that does not
+// advance (or goes backwards) must not add tokens.
+func TestTokenBucketBackwardClockDoesNotMint(t *testing.T) {
+	clock := newFakeClock()
+	tb := NewTokenBucket(1000, 1, clock.now)
+	if err := tb.Allow(); err != nil {
+		t.Fatalf("first token not admitted: %v", err)
+	}
+	clock.advance(-time.Minute)
+	if err := tb.Allow(); err == nil {
+		t.Fatal("backward clock minted a token")
+	}
+}

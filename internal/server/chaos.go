@@ -47,7 +47,7 @@ func (s *Server) chaosMiddleware(next http.Handler) http.Handler {
 
 // sleepCtx pauses for d or until ctx is done, whichever is first.
 func sleepCtx(ctx context.Context, d time.Duration) {
-	t := time.NewTimer(d)
+	t := time.NewTimer(d) //lint:allow clockinject injected chaos latency only delays delivery; no timestamp reaches a response
 	defer t.Stop()
 	select {
 	case <-t.C:

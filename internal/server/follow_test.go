@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rainshine"
+	"rainshine/internal/leakcheck"
 	"rainshine/internal/simulate"
 	"rainshine/internal/stream"
 )
@@ -81,6 +82,7 @@ func getStreamStatus(t *testing.T, url string) (streamStatus, *http.Response) {
 // the long-poll endpoint, the watermark header, and the /metricz
 // stream section along the way.
 func TestFollowStreamToSeal(t *testing.T) {
+	leakcheck.Check(t)
 	path := writeFollowLog(t, t.TempDir())
 	s, ts := followServer(t, path)
 
@@ -147,6 +149,7 @@ func TestFollowStreamToSeal(t *testing.T) {
 // is complete; appending the rest of the log must release it with an
 // advanced watermark, without waiting out the long-poll window.
 func TestFollowLongPollWakesOnDayClose(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	full, err := os.ReadFile(writeFollowLog(t, dir))
 	if err != nil {
@@ -191,6 +194,7 @@ func TestFollowLongPollWakesOnDayClose(t *testing.T) {
 // TestStreamEndpointWithoutFollower: the route exists but reports that
 // no stream is attached.
 func TestStreamEndpointWithoutFollower(t *testing.T) {
+	leakcheck.Check(t)
 	s := New(Config{Logf: t.Logf, build: failingBuild()})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"rainshine"
+	"rainshine/internal/leakcheck"
 )
 
 // loadConfigs are the three distinct study configs the load test mixes;
@@ -38,6 +39,7 @@ var loadConfigs = []struct {
 // `make serve-load` runs this under -race and records the throughput
 // summary to BENCH_serve.json (RAINSHINE_BENCH_OUT).
 func TestServeLoad(t *testing.T) {
+	leakcheck.Check(t)
 	const (
 		clients           = 32
 		requestsPerClient = 6

@@ -94,6 +94,9 @@ type Server struct {
 	cfg     Config
 	reg     *registry
 	metrics *Metrics
+	// now is the injected clock shared with the admission controller
+	// and breaker; tests freeze it.
+	now      func() time.Time
 	adm      *admission
 	breaker  *resilience.Breaker
 	chaos    *chaosState // nil when chaos mode is off
@@ -132,6 +135,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		metrics: m,
+		now:     now,
 		adm:     newAdmission(rc, now),
 		breaker: resilience.NewBreaker(rc.BreakerThreshold, rc.BreakerCooldown, now),
 	}
@@ -236,9 +240,9 @@ func (r *statusRecorder) WriteHeader(code int) {
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
+		start := s.now()
 		next.ServeHTTP(rec, r)
-		s.metrics.Observe(r.URL.Path, time.Since(start), rec.status >= 400)
+		s.metrics.Observe(r.URL.Path, s.now().Sub(start), rec.status >= 400)
 	})
 }
 
@@ -381,7 +385,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Breaker       string  `json:"breaker"`
 		CachedStudies int     `json:"cached_studies"`
 		UptimeSeconds float64 `json:"uptime_seconds"`
-	}{status, s.breaker.State().String(), s.reg.Len(), time.Since(s.metrics.start).Seconds()})
+	}{status, s.breaker.State().String(), s.reg.Len(), s.now().Sub(s.metrics.start).Seconds()})
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"rainshine/internal/leakcheck"
 	"strings"
 	"sync"
 	"testing"
@@ -114,6 +115,7 @@ func runDegradationScript(t *testing.T) []scriptStep {
 // including every degraded (last-good) body — and the degraded envelope
 // wraps exactly the bytes a healthy server serves for the same query.
 func TestChaosSoakDeterministicDegradation(t *testing.T) {
+	leakcheck.Check(t)
 	first := runDegradationScript(t)
 	second := runDegradationScript(t)
 
@@ -171,6 +173,7 @@ func TestChaosSoakDeterministicDegradation(t *testing.T) {
 // deterministic function of the chaos seed — exactly the counts an
 // offline replay of the same corrupted record sequence produces.
 func TestChaosSoakStream(t *testing.T) {
+	leakcheck.Check(t)
 	study := StudyConfig{Seed: 12, Days: 60, Racks: [2]int{4, 3}}
 	res, err := simulate.Run(study.simConfig(1))
 	if err != nil {
@@ -313,6 +316,7 @@ func TestChaosSoakStream(t *testing.T) {
 // degraded bodies are byte-stable per (path, reason), availability and
 // latency SLOs hold — and records the run in BENCH_serve.json.
 func TestChaosSoakOverload(t *testing.T) {
+	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("soak is not a -short test")
 	}
